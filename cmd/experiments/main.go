@@ -1,0 +1,183 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§2.3, §3, §4) on synthetic workloads shaped like the
+// original logs. Each experiment prints the paper's reported values next
+// to the measured ones so the shape of every result can be compared.
+//
+// Usage:
+//
+//	experiments [-scale S] [experiment...]
+//
+// Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2
+// table3 sec23 sec4 ablation hier seeds e2e, or "all" (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"piggyback/internal/core"
+	"piggyback/internal/trace"
+	"piggyback/internal/tracegen"
+)
+
+// lab carries shared state: generated logs are cached so one process run
+// reuses them across experiments.
+type lab struct {
+	scale   float64
+	srvLogs map[string]trace.Log
+	srvSite map[string]*tracegen.Site
+	cliLogs map[string]trace.Log
+	probs   map[string]*core.ProbVolumes // built base volumes per profile
+}
+
+func newLab(scale float64) *lab {
+	return &lab{
+		scale:   scale,
+		srvLogs: make(map[string]trace.Log),
+		srvSite: make(map[string]*tracegen.Site),
+		cliLogs: make(map[string]trace.Log),
+		probs:   make(map[string]*core.ProbVolumes),
+	}
+}
+
+// serverLogRaw returns the (cached) synthetic server log for a profile
+// name, cleaned but with unpopular resources retained (Table 3 reports raw
+// log characteristics).
+func (l *lab) serverLogRaw(name string) trace.Log {
+	key := name + "/raw"
+	if log, ok := l.srvLogs[key]; ok {
+		return log
+	}
+	cfg := l.profile(name)
+	log, site := tracegen.GenerateServerLog(cfg)
+	log = log.Clean()
+	l.srvLogs[key] = log
+	l.srvSite[name] = site
+	return log
+}
+
+// serverLog returns the analysis log: raw log restricted to resources
+// accessed at least ten times (App. A: these account for 98-99% of
+// requests in the original logs).
+func (l *lab) serverLog(name string) trace.Log {
+	if log, ok := l.srvLogs[name]; ok {
+		return log
+	}
+	log := l.serverLogRaw(name).FilterPopular(10)
+	l.srvLogs[name] = log
+	return log
+}
+
+func (l *lab) profile(name string) tracegen.SiteConfig {
+	switch name {
+	case "aiusa":
+		return tracegen.ProfileAIUSA(l.scale)
+	case "apache":
+		return tracegen.ProfileApache(l.scale)
+	case "sun":
+		return tracegen.ProfileSun(l.scale)
+	case "marimba":
+		return tracegen.ProfileMarimba(l.scale)
+	default:
+		panic("unknown profile " + name)
+	}
+}
+
+// clientLog returns the (cached) synthetic client log for att/digital.
+func (l *lab) clientLog(name string) trace.Log {
+	if log, ok := l.cliLogs[name]; ok {
+		return log
+	}
+	var cfg tracegen.ClientLogConfig
+	switch name {
+	case "att":
+		cfg = tracegen.ProfileATT(l.scale)
+	case "digital":
+		cfg = tracegen.ProfileDigital(l.scale)
+	default:
+		panic("unknown client profile " + name)
+	}
+	log, _ := tracegen.GenerateClientLog(cfg)
+	log = log.Clean()
+	l.cliLogs[name] = log
+	return log
+}
+
+// baseProb builds (and caches) the base probability volumes for a server
+// profile: T=300, a low base threshold so query-time sweeps can raise it.
+func (l *lab) baseProb(name string) *core.ProbVolumes {
+	if v, ok := l.probs[name]; ok {
+		return v
+	}
+	log := l.serverLog(name)
+	b := core.NewProbBuilder(core.ProbConfig{T: 300, Pt: 0.05})
+	b.ObserveLog(log)
+	v := b.Build(0.02)
+	l.probs[name] = v
+	return v
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*lab)
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale factor (1.0 = full scaled-down profiles)")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"table2", "Table 2: client log characteristics", runTable2},
+		{"table3", "Table 3: server log characteristics", runTable3},
+		{"fig1", "Fig 1: directory-prefix locality (AT&T-like client log)", runFig1},
+		{"fig2", "Fig 2: piggyback size vs access filter (directory volumes)", runFig2},
+		{"fig3", "Fig 3: accuracy of directory volumes", runFig3},
+		{"fig4", "Fig 4: RPV minimum time between piggybacks (Apache-like)", runFig4},
+		{"fig5", "Fig 5: fraction predicted vs probability threshold (Sun-like)", runFig5},
+		{"fig6", "Fig 6: fraction predicted vs piggyback size (probability volumes)", runFig6},
+		{"fig7", "Fig 7: true predictions vs piggyback size (probability volumes)", runFig7},
+		{"fig8", "Fig 8: precision vs recall", runFig8},
+		{"table1", "Table 1: update fraction for probability volumes", runTable1},
+		{"sec23", "Sec 2.3: piggyback wire overheads", runSec23},
+		{"sec4", "Sec 4: proxy applications (coherency, prefetching, replacement)", runSec4},
+		{"ablation", "Ablations: sampling, MTF vs FIFO, replacement policies", runAblation},
+		{"hier", "Extensions: hierarchical caching + popular volume (Sec 1, Sec 5)", runHier},
+		{"seeds", "Robustness: headline metrics across workload seeds", runSeeds},
+		{"e2e", "End-to-end protocol over loopback TCP", runE2E},
+	}
+
+	want := flag.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = nil
+		for _, e := range experiments {
+			want = append(want, e.name)
+		}
+	}
+	byName := make(map[string]experiment, len(experiments))
+	for _, e := range experiments {
+		byName[e.name] = e
+	}
+
+	l := newLab(*scale)
+	for _, name := range want {
+		e, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			names := make([]string, 0, len(byName))
+			for n := range byName {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "available: %v\n", names)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s — %s (scale %.2f) ====\n", e.name, e.desc, *scale)
+		start := time.Now()
+		e.run(l)
+		fmt.Printf("---- %s done in %v ----\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestLabCachesLogs(t *testing.T) {
+	l := newLab(0.02)
+	a := l.serverLog("aiusa")
+	b := l.serverLog("aiusa")
+	if len(a) == 0 {
+		t.Fatal("empty log")
+	}
+	if &a[0] != &b[0] {
+		t.Error("serverLog not cached")
+	}
+	raw := l.serverLogRaw("aiusa")
+	if len(raw) < len(a) {
+		t.Errorf("raw log (%d) smaller than filtered (%d)", len(raw), len(a))
+	}
+}
+
+func TestLabProfiles(t *testing.T) {
+	l := newLab(0.02)
+	for _, name := range []string{"aiusa", "apache", "sun", "marimba"} {
+		if cfg := l.profile(name); cfg.Requests <= 0 {
+			t.Errorf("profile %s has no requests", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown profile did not panic")
+		}
+	}()
+	l.profile("nope")
+}
+
+func TestLabClientLogs(t *testing.T) {
+	l := newLab(0.02)
+	for _, name := range []string{"att", "digital"} {
+		log := l.clientLog(name)
+		if len(log) == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+		if log.Servers() < 2 {
+			t.Errorf("%s: %d servers", name, log.Servers())
+		}
+	}
+}
+
+func TestLabBaseProbCached(t *testing.T) {
+	l := newLab(0.02)
+	v1 := l.baseProb("aiusa")
+	v2 := l.baseProb("aiusa")
+	if v1 != v2 {
+		t.Error("baseProb not cached")
+	}
+	if v1.NumPairs() == 0 {
+		t.Error("no pairs built")
+	}
+}
+
+// TestExperimentsRunAll smoke-runs every experiment at a tiny scale; each
+// must complete without panicking.
+func TestExperimentsRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	l := newLab(0.02)
+	for _, e := range []struct {
+		name string
+		run  func(*lab)
+	}{
+		{"table2", runTable2},
+		{"table3", runTable3},
+		{"fig1", runFig1},
+		{"fig4", runFig4},
+		{"fig5", runFig5},
+		{"table1", runTable1},
+		{"sec23", runSec23},
+		{"hier", runHier},
+	} {
+		t.Run(e.name, func(t *testing.T) { e.run(l) })
+	}
+}

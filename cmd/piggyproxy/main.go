@@ -1,0 +1,85 @@
+// Command piggyproxy runs the caching piggybacking proxy: clients send it
+// absolute-URI or Host-header requests; it caches with a freshness
+// interval Δ, attaches Piggy-Filter headers (with per-server RPV lists)
+// upstream, and applies P-Volume trailers for coherency, replacement, and
+// prefetching.
+//
+// With no resolver configuration every host is resolved to -origin,
+// matching the single-origin testbeds built by piggyserver/volumecenter.
+//
+// Usage:
+//
+//	piggyproxy [-addr :8081] -origin 127.0.0.1:8080 [-cache 64MiB-bytes]
+//	           [-delta 900] [-maxpiggy 10] [-prefetch] [-adaptive]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"piggyback"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8081", "listen address")
+	origin := flag.String("origin", "127.0.0.1:8080", "upstream address every host resolves to")
+	cacheBytes := flag.Int64("cache", 64<<20, "cache capacity in bytes")
+	delta := flag.Int64("delta", 900, "freshness interval Δ in seconds")
+	maxPiggy := flag.Int("maxpiggy", 10, "filter maxpiggy attribute")
+	prefetch := flag.Bool("prefetch", false, "prefetch piggybacked resources")
+	adaptive := flag.Bool("adaptive", false, "adapt Δ per resource from observed change rates")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
+	flag.Parse()
+
+	px := piggyback.NewProxy(piggyback.ProxyConfig{
+		CacheBytes:        *cacheBytes,
+		Delta:             *delta,
+		BaseFilter:        piggyback.Filter{MaxPiggy: *maxPiggy},
+		Clock:             func() int64 { return time.Now().Unix() },
+		Resolve:           func(host string) (string, error) { return *origin, nil },
+		Prefetch:          *prefetch,
+		AdaptiveFreshness: *adaptive,
+	})
+	defer px.Close()
+
+	if *prefetch {
+		go func() {
+			for {
+				time.Sleep(500 * time.Millisecond)
+				px.DrainPrefetches(8)
+			}
+		}()
+	}
+	if *statsEvery > 0 {
+		go func() {
+			for {
+				time.Sleep(*statsEvery)
+				st := px.Stats()
+				fmt.Printf("piggyproxy: req=%d freshHits=%d validations=%d 304s=%d piggybacks=%d refreshes=%d invalidations=%d prefetches=%d hitRate=%.2f\n",
+					st.ClientRequests, st.FreshHits, st.Validations, st.NotModified,
+					st.PiggybacksReceived, st.Refreshes, st.Invalidations, st.Prefetches,
+					px.CacheHitRate())
+			}
+		}()
+	}
+
+	srv := &piggyback.WireServer{Handler: px, ErrorLog: log.New(os.Stderr, "piggyproxy: ", 0)}
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		fmt.Println("\npiggyproxy: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Printf("piggyproxy: listening on %s, upstream %s, Δ=%ds, cache %d bytes\n",
+		*addr, *origin, *delta, *cacheBytes)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

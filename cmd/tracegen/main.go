@@ -1,0 +1,84 @@
+// Command tracegen emits synthetic access logs in Common Log Format —
+// the data substitute for the paper's proprietary AIUSA/Apache/Marimba/Sun
+// server logs and AT&T/Digital client logs (Appendix A).
+//
+// Usage:
+//
+//	tracegen -profile sun [-scale 0.5] [-o sun.log]
+//	tracegen -profile att -client [-scale 0.5]
+//	tracegen -pages 500 -requests 100000 -seed 7   # custom site
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"piggyback/internal/trace"
+	"piggyback/internal/tracegen"
+)
+
+func main() {
+	profile := flag.String("profile", "", "named profile: aiusa|apache|sun|marimba|att|digital")
+	client := flag.Bool("client", false, "generate a client (proxy-side) log for att/digital")
+	scale := flag.Float64("scale", 1.0, "request-volume scale factor for named profiles")
+	out := flag.String("o", "", "output file (default stdout)")
+	pages := flag.Int("pages", 0, "custom site: number of pages")
+	requests := flag.Int("requests", 0, "custom site: number of requests")
+	clients := flag.Int("clients", 0, "custom site: number of clients")
+	seed := flag.Int64("seed", 1, "custom site: seed")
+	flag.Parse()
+
+	var logRecs trace.Log
+	switch {
+	case *profile == "att" || *profile == "digital" || *client:
+		var cfg tracegen.ClientLogConfig
+		switch *profile {
+		case "att", "":
+			cfg = tracegen.ProfileATT(*scale)
+		case "digital":
+			cfg = tracegen.ProfileDigital(*scale)
+		default:
+			log.Fatalf("client logs support profiles att and digital, not %q", *profile)
+		}
+		logRecs, _ = tracegen.GenerateClientLog(cfg)
+	case *profile != "":
+		var cfg tracegen.SiteConfig
+		switch *profile {
+		case "aiusa":
+			cfg = tracegen.ProfileAIUSA(*scale)
+		case "apache":
+			cfg = tracegen.ProfileApache(*scale)
+		case "sun":
+			cfg = tracegen.ProfileSun(*scale)
+		case "marimba":
+			cfg = tracegen.ProfileMarimba(*scale)
+		default:
+			log.Fatalf("unknown profile %q", *profile)
+		}
+		logRecs, _ = tracegen.GenerateServerLog(cfg)
+	default:
+		cfg := tracegen.SiteConfig{Name: "custom", Seed: *seed, Pages: *pages, Requests: *requests, Clients: *clients}
+		logRecs, _ = tracegen.GenerateServerLog(cfg)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	tw := trace.NewWriter(w)
+	if err := tw.WriteAll(logRecs); err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records (%d clients, %d resources)\n",
+		len(logRecs), logRecs.Clients(), logRecs.UniqueResources())
+}

@@ -1,0 +1,123 @@
+package cache
+
+// LRU evicts the least recently used entry: priority = last access time.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+// Priority implements Policy.
+func (LRU) Priority(e *Entry, now int64) float64 { return float64(e.lastAccess) }
+
+// OnEvict implements Policy.
+func (LRU) OnEvict(e *Entry) {}
+
+// LFU evicts the least frequently used entry, breaking ties toward older
+// access.
+type LFU struct{}
+
+// Name implements Policy.
+func (LFU) Name() string { return "lfu" }
+
+// Priority implements Policy.
+func (LFU) Priority(e *Entry, now int64) float64 {
+	// Hits dominate; recency breaks ties (scaled small).
+	return float64(e.hits) + float64(e.lastAccess)*1e-12
+}
+
+// OnEvict implements Policy.
+func (LFU) OnEvict(e *Entry) {}
+
+// GDSize is the GreedyDual-Size policy of Cao & Irani [5], the strongest
+// conventional baseline the paper cites for cost-aware replacement: each
+// entry carries H = L + cost/size, where L is an aging term set to the H
+// value of the last eviction. With cost = 1 this is GD-Size(1), favoring
+// small objects (cheap to re-fetch per byte of cache) while aging out cold
+// ones.
+type GDSize struct {
+	// Cost returns the retrieval cost of an entry; nil means uniform
+	// cost 1 (GD-Size(1)).
+	Cost func(e *Entry) float64
+
+	l float64
+}
+
+// Name implements Policy.
+func (g *GDSize) Name() string { return "gdsize" }
+
+// Priority implements Policy.
+func (g *GDSize) Priority(e *Entry, now int64) float64 {
+	cost := 1.0
+	if g.Cost != nil {
+		cost = g.Cost(e)
+	}
+	size := float64(e.Size)
+	if size < 1 {
+		size = 1
+	}
+	return g.l + cost/size
+}
+
+// OnEvict implements Policy: L rises to the victim's H value, aging the
+// whole cache.
+func (g *GDSize) OnEvict(e *Entry) {
+	if e.priority > g.l {
+		g.l = e.priority
+	}
+}
+
+// L exposes the current aging term (for tests and diagnostics).
+func (g *GDSize) L() float64 { return g.l }
+
+// ServerGD is server-assisted GreedyDual-Size, modeled on the paper's
+// follow-up study of server-assisted cache replacement ([24], ESA 1998):
+// the GD-Size priority H = L + cost/size is scaled by the server's
+// popularity signal — the number of piggyback messages that have named
+// the entry — so resources the server keeps predicting are worth keeping
+// even when they are large or momentarily cold.
+type ServerGD struct {
+	l float64
+}
+
+// Name implements Policy.
+func (g *ServerGD) Name() string { return "server-gd" }
+
+// Priority implements Policy.
+func (g *ServerGD) Priority(e *Entry, now int64) float64 {
+	size := float64(e.Size)
+	if size < 1 {
+		size = 1
+	}
+	return g.l + float64(1+e.hintCount)/size
+}
+
+// OnEvict implements Policy.
+func (g *ServerGD) OnEvict(e *Entry) {
+	if e.priority > g.l {
+		g.l = e.priority
+	}
+}
+
+// L exposes the aging term.
+func (g *ServerGD) L() float64 { return g.l }
+
+// PiggybackLRU is the paper's §4 cache-replacement application: LRU order,
+// but entries predicted by a recent piggyback message (pinned) are
+// preferred for retention — their priority is lifted to the pin horizon, so
+// unpinned entries evict first.
+type PiggybackLRU struct{}
+
+// Name implements Policy.
+func (PiggybackLRU) Name() string { return "piggyback-lru" }
+
+// Priority implements Policy.
+func (PiggybackLRU) Priority(e *Entry, now int64) float64 {
+	p := float64(e.lastAccess)
+	if e.pinnedUntil > now && float64(e.pinnedUntil) > p {
+		p = float64(e.pinnedUntil)
+	}
+	return p
+}
+
+// OnEvict implements Policy.
+func (PiggybackLRU) OnEvict(e *Entry) {}

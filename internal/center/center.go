@@ -1,0 +1,197 @@
+// Package center implements the transparent volume center: "volume
+// maintenance and piggyback generation [performed] transparently at a
+// router or gateway along the path between the proxy and server. This
+// volume center can construct volumes, apply filters, and generate
+// piggyback messages on behalf of several servers, allowing piggyback
+// messages to include information about resources at multiple sites"
+// (§1), obviating server modifications (§5).
+//
+// The center is an httpwire relay: it forwards requests upstream with the
+// piggybacking headers stripped (the origin need not cooperate), observes
+// the request/response stream to maintain volumes keyed by host-qualified
+// URL, and injects P-Volume trailers into responses for proxies that sent
+// a Piggy-Filter.
+package center
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"piggyback/internal/core"
+	"piggyback/internal/httpwire"
+)
+
+// Config parameterizes a Center.
+type Config struct {
+	// Volumes is the volume engine, keyed by host-qualified URL so one
+	// center can cover several origin servers. nil defaults to 1-level
+	// directory volumes with move-to-front (host-qualified level 1 is
+	// the site's first-level directory).
+	Volumes core.Provider
+	// Resolve maps a host name to the origin's dialable address.
+	Resolve func(host string) (string, error)
+	// Clock returns the current Unix time.
+	Clock func() int64
+}
+
+// Stats counts center activity.
+type Stats struct {
+	Relayed         int
+	PiggybacksSent  int
+	PiggybackElems  int
+	UpstreamErrors  int
+	OriginPiggyback int // responses that already carried a P-Volume
+	// HitReports counts cache-hit URLs consumed from Piggy-Hits headers
+	// (§5): the center folds proxy-satisfied accesses into its volumes
+	// and strips the header before the origin sees it.
+	HitReports int
+}
+
+// Center is a transparent piggybacking intermediary.
+type Center struct {
+	cfg    Config
+	vols   core.Provider
+	client *httpwire.Client
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New returns a Center for cfg.
+func New(cfg Config) *Center {
+	vols := cfg.Volumes
+	if vols == nil {
+		vols = core.NewDirVolumes(core.DirConfig{Level: 1, MTF: true, PartitionByType: true})
+	}
+	return &Center{cfg: cfg, vols: vols, client: httpwire.NewClient()}
+}
+
+// Volumes returns the engine maintained by the center.
+func (c *Center) Volumes() core.Provider { return c.vols }
+
+// Stats returns a snapshot of the counters.
+func (c *Center) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close releases upstream connections.
+func (c *Center) Close() { c.client.Close() }
+
+func splitTarget(req *httpwire.Request) (host, path string, err error) {
+	t := req.Path
+	if strings.HasPrefix(t, "http://") {
+		rest := strings.TrimPrefix(t, "http://")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return rest[:i], rest[i:], nil
+		}
+		return rest, "/", nil
+	}
+	host = req.Header.Get("Host")
+	if host == "" {
+		return "", "", fmt.Errorf("center: request has neither absolute URI nor Host header")
+	}
+	if !strings.HasPrefix(t, "/") {
+		t = "/" + t
+	}
+	return host, t, nil
+}
+
+// ServeWire implements httpwire.Handler: relay, observe, inject.
+func (c *Center) ServeWire(req *httpwire.Request) *httpwire.Response {
+	now := c.cfg.Clock()
+	host, path, err := splitTarget(req)
+	if err != nil {
+		return httpwire.NewResponse(400)
+	}
+	filter, hasFilter := httpwire.GetFilter(req)
+	wantsTrailer := req.AcceptsChunkedTrailer()
+
+	// Consume Piggy-Hits here (§5): the center maintains the volumes,
+	// so proxy-satisfied accesses feed its popularity order directly.
+	if hits := httpwire.GetHits(req); len(hits) > 0 {
+		hitTime := c.cfg.Clock()
+		for _, h := range hits {
+			c.vols.Observe(core.Access{Source: req.RemoteAddr, Time: hitTime,
+				Element: core.Element{URL: host + h}})
+		}
+		c.mu.Lock()
+		c.stats.HitReports += len(hits)
+		c.mu.Unlock()
+	}
+
+	// Forward upstream with the piggybacking headers stripped — the
+	// origin server need not know the protocol exists.
+	oreq := httpwire.NewRequest(req.Method, path)
+	oreq.Header = req.Header.Clone()
+	oreq.Header.Del(httpwire.FieldPiggyFilter)
+	oreq.Header.Del(httpwire.FieldPiggyHits)
+	oreq.Header.Del("TE")
+	oreq.Header.Set("Host", host)
+	oreq.Body = req.Body
+
+	addr, err := c.cfg.Resolve(host)
+	if err != nil {
+		c.countError()
+		return httpwire.NewResponse(502)
+	}
+	resp, err := c.client.Do(addr, oreq)
+	if err != nil {
+		c.countError()
+		return httpwire.NewResponse(502)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Relayed++
+
+	qualified := host + path
+	if resp.Status == 200 || resp.Status == 304 {
+		lm, _ := resp.LastModified()
+		size := int64(len(resp.Body))
+		if cl := resp.Header.Get("Content-Length"); resp.Status == 304 && cl != "" {
+			// Keep the advertised size for validations.
+			fmt.Sscanf(cl, "%d", &size)
+		}
+		c.vols.Observe(core.Access{
+			Source:  req.RemoteAddr,
+			Time:    now,
+			Element: core.Element{URL: qualified, Size: size, LastModified: lm},
+		})
+	}
+
+	out := &httpwire.Response{
+		Proto:   "HTTP/1.1",
+		Status:  resp.Status,
+		Reason:  resp.Reason,
+		Header:  resp.Header.Clone(),
+		Body:    resp.Body,
+		Trailer: resp.Trailer,
+	}
+	out.Header.Del("Connection")
+	// Framing is recomputed on write.
+	out.Header.Del("Transfer-Encoding")
+	out.Header.Del("Trailer")
+
+	if len(resp.Trailer) > 0 && resp.Trailer.Get(httpwire.FieldPVolume) != "" {
+		// A cooperating origin already piggybacked; pass it through.
+		c.stats.OriginPiggyback++
+		return out
+	}
+	if hasFilter && wantsTrailer {
+		if m, ok := c.vols.Piggyback(qualified, now, filter); ok {
+			httpwire.AttachPiggyback(out, m)
+			c.stats.PiggybacksSent++
+			c.stats.PiggybackElems += len(m.Elements)
+		}
+	}
+	return out
+}
+
+func (c *Center) countError() {
+	c.mu.Lock()
+	c.stats.UpstreamErrors++
+	c.mu.Unlock()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageEncodeParseRoundTrip(t *testing.T) {
+	m := Message{
+		Volume: 17,
+		Elements: []Element{
+			{URL: "/a/b.html", Size: 4096, LastModified: 866268400},
+			{URL: "/a/c.gif", Size: 512, LastModified: 866268401},
+		},
+	}
+	got, err := ParseMessage(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Volume != m.Volume || len(got.Elements) != len(m.Elements) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, m)
+	}
+	for i := range m.Elements {
+		if got.Elements[i] != m.Elements[i] {
+			t.Errorf("element %d: %+v != %+v", i, got.Elements[i], m.Elements[i])
+		}
+	}
+}
+
+func TestMessageEncodeEmptyElements(t *testing.T) {
+	m := Message{Volume: 5}
+	got, err := ParseMessage(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Volume != 5 || len(got.Elements) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	if !m.Empty() {
+		t.Error("Empty() should be true")
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(vol uint16, n uint8, sz, lm uint32) bool {
+		m := Message{Volume: VolumeID(vol) % (MaxVolumeID + 1)}
+		for i := 0; i < int(n%8); i++ {
+			m.Elements = append(m.Elements, Element{
+				URL:          "/d/r" + string(rune('a'+i)) + ".html",
+				Size:         int64(sz) + int64(i),
+				LastModified: int64(lm) + int64(i),
+			})
+		}
+		got, err := ParseMessage(m.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Volume != m.Volume || len(got.Elements) != len(m.Elements) {
+			return false
+		}
+		for i := range m.Elements {
+			if got.Elements[i] != m.Elements[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMessageErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"noid",
+		"99999; /a 1 2",
+		"-3; /a 1 2",
+		"5; /a 1",
+		"5; /a one 2",
+		"5; /a 1 two",
+		"5; /a 1 2 3",
+	}
+	for _, s := range bad {
+		if _, err := ParseMessage(s); err == nil {
+			t.Errorf("ParseMessage(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestWireBytesMatchesPaperEstimate(t *testing.T) {
+	// §2.3: a typical ~50-byte URL plus two 8-byte integers gives ~66
+	// bytes per element.
+	url := "/products/java/docs/api/javax/swing/JComponent.html" // 52 bytes
+	e := Element{URL: url, Size: 13900, LastModified: 899637753}
+	if got := e.WireBytes(); got != len(url)+16 {
+		t.Errorf("WireBytes = %d, want %d", got, len(url)+16)
+	}
+	m := Message{Volume: 3, Elements: []Element{e, e, e, e, e, e}}
+	// 2-byte volume id + 6 elements.
+	want := 2 + 6*(len(url)+16)
+	if got := m.WireBytes(); got != want {
+		t.Errorf("Message.WireBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEncodeIsSingleLine(t *testing.T) {
+	m := Message{Volume: 1, Elements: []Element{{URL: "/a", Size: 1, LastModified: 2}}}
+	if s := m.Encode(); strings.ContainsAny(s, "\r\n") {
+		t.Errorf("Encode produced newline: %q", s)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func feedOnline(o *OnlineProbVolumes, visits int) {
+	t := int64(1000)
+	for v := 0; v < visits; v++ {
+		src := "c" + string(rune('0'+v%3))
+		o.Observe(Access{Source: src, Time: t, Element: Element{URL: "/a/page.html", Size: 100, LastModified: 1}})
+		o.Observe(Access{Source: src, Time: t + 2, Element: Element{URL: "/a/img.gif", Size: 50, LastModified: 1}})
+		t += 1000
+	}
+}
+
+func TestOnlineLearnsAndServes(t *testing.T) {
+	o := NewOnlineProbVolumes(ProbConfig{T: 300, Pt: 0.2}, 10)
+	feedOnline(o, 20)
+	m, ok := o.Piggyback("/a/page.html", 99999, Filter{})
+	if !ok {
+		t.Fatal("online volumes never produced a piggyback")
+	}
+	found := false
+	for _, e := range m.Elements {
+		if e.URL == "/a/img.gif" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("learned pair missing: %+v", m.Elements)
+	}
+	if o.Rebuilds() < 2 {
+		t.Errorf("Rebuilds = %d, want >= 2", o.Rebuilds())
+	}
+}
+
+func TestOnlineEmptyBeforeFirstObservation(t *testing.T) {
+	o := NewOnlineProbVolumes(ProbConfig{T: 300, Pt: 0.2}, 10)
+	if _, ok := o.Piggyback("/a/x.html", 1, Filter{}); ok {
+		t.Error("piggyback before any observation")
+	}
+	if o.Snapshot() != nil {
+		t.Error("snapshot before any observation")
+	}
+}
+
+func TestOnlineAdaptsToShiftingPatterns(t *testing.T) {
+	o := NewOnlineProbVolumes(ProbConfig{T: 300, Pt: 0.4}, 20)
+	// Phase 1: page -> old.gif.
+	tt := int64(1000)
+	for v := 0; v < 30; v++ {
+		src := "c" + string(rune('0'+v%3))
+		o.Observe(Access{Source: src, Time: tt, Element: Element{URL: "/a/page.html", Size: 100}})
+		o.Observe(Access{Source: src, Time: tt + 2, Element: Element{URL: "/a/old.gif", Size: 50}})
+		tt += 1000
+	}
+	// Phase 2: the page is redesigned; now page -> new.gif, much more often.
+	for v := 0; v < 300; v++ {
+		src := "c" + string(rune('0'+v%3))
+		o.Observe(Access{Source: src, Time: tt, Element: Element{URL: "/a/page.html", Size: 100}})
+		o.Observe(Access{Source: src, Time: tt + 2, Element: Element{URL: "/a/new.gif", Size: 50}})
+		tt += 1000
+	}
+	o.Rebuild()
+	m, ok := o.Piggyback("/a/page.html", tt, Filter{})
+	if !ok {
+		t.Fatal("no piggyback")
+	}
+	hasNew, hasOld := false, false
+	for _, e := range m.Elements {
+		if e.URL == "/a/new.gif" {
+			hasNew = true
+		}
+		if e.URL == "/a/old.gif" {
+			hasOld = true
+		}
+	}
+	if !hasNew {
+		t.Errorf("new association not learned: %+v", m.Elements)
+	}
+	// p(old|page) fell to 30/330 < 0.4: dropped from the volume.
+	if hasOld {
+		t.Errorf("stale association retained at pt=0.4: %+v", m.Elements)
+	}
+}
+
+func TestOnlineConcurrent(t *testing.T) {
+	o := NewOnlineProbVolumes(ProbConfig{T: 300, Pt: 0.1}, 50)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tt := int64(g * 100000)
+			for i := 0; i < 500; i++ {
+				src := "g" + string(rune('0'+g))
+				o.Observe(Access{Source: src, Time: tt, Element: Element{URL: "/a/p.html", Size: 10}})
+				o.Piggyback("/a/p.html", tt, Filter{MaxPiggy: 5})
+				tt += 7
+			}
+		}(g)
+	}
+	wg.Wait()
+	if o.Counters() < 0 {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestOnlineSamplingDefaultedOn(t *testing.T) {
+	o := NewOnlineProbVolumes(ProbConfig{T: 300, Pt: 0.2}, 10)
+	o.mu.RLock()
+	sampling := o.builder.cfg.Sampling
+	o.mu.RUnlock()
+	if !sampling {
+		t.Error("online mode must bound memory via sampling by default")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Persistence for probability-based volumes. The paper builds volumes
+// offline ("once a day or once a week", §3.3.1) and applies one set for the
+// duration of a log; a production server therefore needs to store the
+// built volumes and reload them at startup. The format is a line-oriented
+// text table, deliberately diff- and grep-friendly:
+//
+//	pbvol 1
+//	T 300
+//	Pt 0.25
+//	R <url> <volume-id> <access-count> <size> <last-modified>
+//	I <r-url> <s-url> <p> <effp>
+//
+// R lines declare resources (one per volume anchor); I lines declare
+// implications, referencing previously declared resources.
+
+const persistMagic = "pbvol 1"
+
+// WriteTo serializes the volume set. It returns the number of bytes
+// written.
+func (v *ProbVolumes) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(format string, args ...interface{}) error {
+		m, err := fmt.Fprintf(bw, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := write("%s\n", persistMagic); err != nil {
+		return n, err
+	}
+	if err := write("T %d\n", v.T); err != nil {
+		return n, err
+	}
+	if err := write("Pt %s\n", strconv.FormatFloat(v.Pt, 'g', -1, 64)); err != nil {
+		return n, err
+	}
+	if err := write("SameDir %d\n", v.sameDir); err != nil {
+		return n, err
+	}
+	if err := write("MaxPiggy %d\n", v.ServerMaxPiggy); err != nil {
+		return n, err
+	}
+
+	urls := make([]string, 0, len(v.ids))
+	for url := range v.ids {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	for _, url := range urls {
+		e := v.attrs[url]
+		if err := write("R %s %d %d %d %d\n", url, v.ids[url], v.counts[url], e.Size, e.LastModified); err != nil {
+			return n, err
+		}
+	}
+	rs := make([]string, 0, len(v.imps))
+	for r := range v.imps {
+		rs = append(rs, r)
+	}
+	sort.Strings(rs)
+	for _, r := range rs {
+		for _, imp := range v.imps[r] {
+			if err := write("I %s %s %s %s\n", r, imp.Elem.URL,
+				strconv.FormatFloat(imp.P, 'g', -1, 64),
+				strconv.FormatFloat(imp.EffP, 'g', -1, 64)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadProbVolumes deserializes a volume set written by WriteTo.
+func ReadProbVolumes(r io.Reader) (*ProbVolumes, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	fail := func(msg string, args ...interface{}) error {
+		return fmt.Errorf("core: volumes line %d: %s", line, fmt.Sprintf(msg, args...))
+	}
+
+	s, ok := next()
+	if !ok || s != persistMagic {
+		return nil, fail("bad magic %q", s)
+	}
+	v := &ProbVolumes{
+		imps:    make(map[string][]Implication),
+		ids:     make(map[string]VolumeID),
+		counts:  make(map[string]int),
+		attrs:   make(map[string]Element),
+		sameDir: -1,
+	}
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(s)
+		switch fields[0] {
+		case "T", "Pt", "SameDir", "MaxPiggy":
+			if len(fields) != 2 {
+				return nil, fail("bad header line %q", s)
+			}
+			switch fields[0] {
+			case "T":
+				t, err := strconv.ParseInt(fields[1], 10, 64)
+				if err != nil {
+					return nil, fail("bad T: %v", err)
+				}
+				v.T = t
+			case "Pt":
+				p, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil {
+					return nil, fail("bad Pt: %v", err)
+				}
+				v.Pt = p
+			case "SameDir":
+				d, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, fail("bad SameDir: %v", err)
+				}
+				v.sameDir = d
+			case "MaxPiggy":
+				m, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, fail("bad MaxPiggy: %v", err)
+				}
+				v.ServerMaxPiggy = m
+			}
+		case "R":
+			if len(fields) != 6 {
+				return nil, fail("bad R line %q", s)
+			}
+			url := fields[1]
+			id, err1 := strconv.Atoi(fields[2])
+			cnt, err2 := strconv.Atoi(fields[3])
+			size, err3 := strconv.ParseInt(fields[4], 10, 64)
+			lm, err4 := strconv.ParseInt(fields[5], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+				id < 0 || VolumeID(id) > MaxVolumeID || cnt < 0 {
+				return nil, fail("bad R values %q", s)
+			}
+			v.ids[url] = VolumeID(id)
+			v.counts[url] = cnt
+			v.attrs[url] = Element{URL: url, Size: size, LastModified: lm}
+		case "I":
+			if len(fields) != 5 {
+				return nil, fail("bad I line %q", s)
+			}
+			rURL, sURL := fields[1], fields[2]
+			p, err1 := strconv.ParseFloat(fields[3], 64)
+			effp, err2 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil || p < 0 || p > 1 {
+				return nil, fail("bad I values %q", s)
+			}
+			if _, ok := v.ids[rURL]; !ok {
+				return nil, fail("implication references undeclared resource %q", rURL)
+			}
+			e, ok := v.attrs[sURL]
+			if !ok {
+				return nil, fail("implication references undeclared successor %q", sURL)
+			}
+			v.imps[rURL] = append(v.imps[rURL], Implication{Elem: e, P: p, EffP: effp})
+		default:
+			return nil, fail("unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Restore the P-descending invariant queries depend on.
+	for r, imps := range v.imps {
+		sort.Slice(imps, func(i, j int) bool {
+			if imps[i].P != imps[j].P {
+				return imps[i].P > imps[j].P
+			}
+			return imps[i].Elem.URL < imps[j].Elem.URL
+		})
+		v.imps[r] = imps
+	}
+	return v, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProbVolumesPersistRoundTrip(t *testing.T) {
+	log := pageTrace(4, 10)
+	b := NewProbBuilder(ProbConfig{T: 300, Pt: 0.2})
+	b.ObserveLog(log)
+	orig := b.Build(0)
+	orig.ServerMaxPiggy = 7
+
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadProbVolumes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.T != orig.T || got.Pt != orig.Pt || got.ServerMaxPiggy != 7 {
+		t.Errorf("header mismatch: %+v vs %+v", got, orig)
+	}
+	if !reflect.DeepEqual(got.ids, orig.ids) {
+		t.Error("ids differ")
+	}
+	if !reflect.DeepEqual(got.counts, orig.counts) {
+		t.Error("counts differ")
+	}
+	if !reflect.DeepEqual(got.imps, orig.imps) {
+		t.Errorf("implications differ:\n got %+v\nwant %+v", got.imps, orig.imps)
+	}
+
+	// Behavioral equivalence: identical piggybacks.
+	f := Filter{MaxPiggy: 10}
+	m1, ok1 := orig.Piggyback("/a/page.html", 1, f)
+	m2, ok2 := got.Piggyback("/a/page.html", 1, f)
+	if ok1 != ok2 || !reflect.DeepEqual(m1, m2) {
+		t.Errorf("piggyback mismatch after reload: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestProbVolumesPersistThinned(t *testing.T) {
+	log := redundantTrace(10)
+	v := buildVolumes(t, log, 0.2).Thin(log, 0.2)
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProbVolumes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPairs() != v.NumPairs() {
+		t.Errorf("pairs %d vs %d", got.NumPairs(), v.NumPairs())
+	}
+	// EffP survives the roundtrip.
+	if imp, ok := implication(got, "/a/p1.html", "/a/img.gif"); !ok || imp.EffP < 0.99 {
+		t.Errorf("EffP lost: %+v, %v", imp, ok)
+	}
+}
+
+func TestReadProbVolumesErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"not the magic\n",
+		"pbvol 1\nT abc\n",
+		"pbvol 1\nPt nope\n",
+		"pbvol 1\nR /x 1\n",
+		"pbvol 1\nR /x 99999 1 2 3\n",
+		"pbvol 1\nI /a /b 0.5 0.5\n", // undeclared resources
+		"pbvol 1\nR /a 1 2 3 4\nI /a /b 0.5 0.5\n", // undeclared successor
+		"pbvol 1\nR /a 1 2 3 4\nR /b 2 2 3 4\nI /a /b 1.5 0.5\n",
+		"pbvol 1\nZ what\n",
+	}
+	for _, s := range bad {
+		if _, err := ReadProbVolumes(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadProbVolumes(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestReadProbVolumesSortsImplications(t *testing.T) {
+	input := "pbvol 1\nT 300\nPt 0.1\n" +
+		"R /a 1 5 10 20\nR /b 2 5 10 20\nR /c 3 5 10 20\n" +
+		"I /a /b 0.3 1\nI /a /c 0.9 1\n"
+	v, err := ReadProbVolumes(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps := v.Implications("/a")
+	if len(imps) != 2 || imps[0].Elem.URL != "/c" {
+		t.Errorf("implications not sorted by P desc: %+v", imps)
+	}
+}

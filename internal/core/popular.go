@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"piggyback/internal/trace"
+)
+
+// PopularProvider implements the §5 extension: "Additional information
+// that could be piggybacked includes information about popular resources
+// gathered in a separate volume."
+//
+// It wraps another volume engine. When the inner engine has nothing to
+// piggyback for a request — the resource is new, its volume is empty, or
+// its volume is in the proxy's RPV list — the response instead carries the
+// server's most popular resources as a dedicated volume with the reserved
+// identifier PopularVolumeID. Since the popular volume has a stable id,
+// the proxy's RPV list paces it like any other volume, so a proxy sees the
+// site's hot set roughly once per RPV timeout.
+type PopularProvider struct {
+	// Inner is the primary volume engine.
+	Inner Provider
+	// TopN is the popular-volume size; zero means 10.
+	TopN int
+	// RecomputeEvery rebuilds the top-N after this many observations;
+	// zero means 256.
+	RecomputeEvery int
+
+	mu     sync.Mutex
+	counts map[string]int
+	attrs  map[string]Element
+	top    []Element
+	sinceR int
+}
+
+// PopularVolumeID is the reserved id of the popular-resources volume — the
+// last representable id, never assigned by DirVolumes (which wraps earlier)
+// or by ProbVolumes built with fewer than 32767 resources.
+const PopularVolumeID = MaxVolumeID
+
+// NewPopularProvider wraps inner with a popular-resources fallback volume.
+func NewPopularProvider(inner Provider, topN int) *PopularProvider {
+	return &PopularProvider{
+		Inner:  inner,
+		TopN:   topN,
+		counts: make(map[string]int),
+		attrs:  make(map[string]Element),
+	}
+}
+
+func (p *PopularProvider) topN() int {
+	if p.TopN <= 0 {
+		return 10
+	}
+	return p.TopN
+}
+
+func (p *PopularProvider) recomputeEvery() int {
+	if p.RecomputeEvery <= 0 {
+		return 256
+	}
+	return p.RecomputeEvery
+}
+
+// Observe implements Provider: counts popularity and feeds the inner
+// engine.
+func (p *PopularProvider) Observe(a Access) {
+	p.mu.Lock()
+	p.counts[a.Element.URL]++
+	p.attrs[a.Element.URL] = a.Element
+	p.sinceR++
+	if p.sinceR >= p.recomputeEvery() || p.top == nil {
+		p.recomputeLocked()
+		p.sinceR = 0
+	}
+	p.mu.Unlock()
+	p.Inner.Observe(a)
+}
+
+// recomputeLocked rebuilds the top-N list. Caller holds p.mu.
+func (p *PopularProvider) recomputeLocked() {
+	type cu struct {
+		url string
+		c   int
+	}
+	all := make([]cu, 0, len(p.counts))
+	for url, c := range p.counts {
+		all = append(all, cu{url, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].url < all[j].url
+	})
+	n := p.topN()
+	if n > len(all) {
+		n = len(all)
+	}
+	p.top = p.top[:0]
+	for _, e := range all[:n] {
+		p.top = append(p.top, p.attrs[e.url])
+	}
+}
+
+// Piggyback implements Provider: the inner engine's message when it has
+// one, otherwise the popular volume (subject to the filter).
+func (p *PopularProvider) Piggyback(url string, now int64, f Filter) (Message, bool) {
+	if m, ok := p.Inner.Piggyback(url, now, f); ok {
+		return m, ok
+	}
+	if f.Disabled || f.HasRPV(PopularVolumeID) {
+		return Message{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	max := f.Cap(p.topN())
+	if max <= 0 {
+		max = p.topN()
+	}
+	var elems []Element
+	for _, e := range p.top {
+		if e.URL == url {
+			continue
+		}
+		if f.MinAccess > 0 && p.counts[e.URL] < f.MinAccess {
+			continue
+		}
+		if !f.Admits(e, trace.ContentType(e.URL)) {
+			continue
+		}
+		elems = append(elems, e)
+		if len(elems) >= max {
+			break
+		}
+	}
+	if len(elems) == 0 {
+		return Message{}, false
+	}
+	return Message{Volume: PopularVolumeID, Elements: elems}, true
+}
+
+// Popular returns the current top-N snapshot.
+func (p *PopularProvider) Popular() []Element {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Element(nil), p.top...)
+}

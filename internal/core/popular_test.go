@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+)
+
+func popObserve(p *PopularProvider, url string, n int, at int64) {
+	for i := 0; i < n; i++ {
+		p.Observe(Access{Source: "s", Time: at + int64(i), Element: Element{URL: url, Size: 100, LastModified: 1}})
+	}
+}
+
+func TestPopularFallbackWhenInnerEmpty(t *testing.T) {
+	inner := NewDirVolumes(DirConfig{Level: 1, MTF: true})
+	p := NewPopularProvider(inner, 3)
+	p.RecomputeEvery = 1
+	popObserve(p, "/a/hot.html", 10, 1)
+	popObserve(p, "/a/warm.html", 5, 100)
+	popObserve(p, "/b/cold.html", 1, 200)
+
+	// A request for an unknown resource: the inner engine has no volume,
+	// so the popular volume answers.
+	m, ok := p.Piggyback("/zzz/new.html", 300, Filter{})
+	if !ok {
+		t.Fatal("no popular fallback")
+	}
+	if m.Volume != PopularVolumeID {
+		t.Errorf("volume id = %d, want reserved %d", m.Volume, PopularVolumeID)
+	}
+	if len(m.Elements) != 3 || m.Elements[0].URL != "/a/hot.html" {
+		t.Errorf("elements = %+v", m.Elements)
+	}
+}
+
+func TestPopularPrefersInner(t *testing.T) {
+	inner := NewDirVolumes(DirConfig{Level: 1, MTF: true})
+	p := NewPopularProvider(inner, 3)
+	p.RecomputeEvery = 1
+	popObserve(p, "/a/x.html", 3, 1)
+	popObserve(p, "/a/y.html", 3, 10)
+	m, ok := p.Piggyback("/a/x.html", 20, Filter{})
+	if !ok {
+		t.Fatal("no piggyback")
+	}
+	if m.Volume == PopularVolumeID {
+		t.Error("popular volume used although the inner engine had content")
+	}
+}
+
+func TestPopularRPVSuppression(t *testing.T) {
+	inner := NewDirVolumes(DirConfig{Level: 1, MTF: true})
+	p := NewPopularProvider(inner, 3)
+	p.RecomputeEvery = 1
+	popObserve(p, "/a/hot.html", 5, 1)
+	if _, ok := p.Piggyback("/new.html", 10, Filter{RPV: []VolumeID{PopularVolumeID}}); ok {
+		t.Error("popular volume ignored the RPV list")
+	}
+	if _, ok := p.Piggyback("/new.html", 10, Filter{Disabled: true}); ok {
+		t.Error("popular volume ignored Disabled")
+	}
+}
+
+func TestPopularExcludesRequestedAndFilters(t *testing.T) {
+	inner := NewDirVolumes(DirConfig{Level: 1, MTF: true})
+	p := NewPopularProvider(inner, 5)
+	p.RecomputeEvery = 1
+	popObserve(p, "/a/hot.html", 10, 1)
+	popObserve(p, "/a/big.pdf", 8, 50)
+	m, ok := p.Piggyback("/a/hot.html", 100, Filter{})
+	if !ok {
+		t.Fatal("no piggyback")
+	}
+	for _, e := range m.Elements {
+		if e.URL == "/a/hot.html" {
+			t.Error("popular volume included the requested resource")
+		}
+	}
+	// MinAccess filter.
+	if m, ok := p.Piggyback("/new.html", 100, Filter{MinAccess: 9}); ok {
+		if len(m.Elements) != 1 || m.Elements[0].URL != "/a/hot.html" {
+			t.Errorf("MinAccess not applied: %+v", m.Elements)
+		}
+	} else {
+		t.Error("expected filtered popular piggyback")
+	}
+}
+
+func TestPopularTopNOrderAndRecompute(t *testing.T) {
+	inner := NewDirVolumes(DirConfig{Level: 1, MTF: true})
+	p := NewPopularProvider(inner, 2)
+	p.RecomputeEvery = 4
+	for i := 0; i < 8; i++ {
+		popObserve(p, "/a/r"+strconv.Itoa(i%4)+".html", 1, int64(i))
+	}
+	popObserve(p, "/a/r3.html", 8, 100)
+	top := p.Popular()
+	if len(top) != 2 || top[0].URL != "/a/r3.html" {
+		t.Errorf("top = %+v", top)
+	}
+}
+
+func TestPopularMaxPiggyCap(t *testing.T) {
+	inner := NewDirVolumes(DirConfig{Level: 1, MTF: true})
+	p := NewPopularProvider(inner, 10)
+	p.RecomputeEvery = 1
+	for i := 0; i < 10; i++ {
+		popObserve(p, "/a/r"+strconv.Itoa(i)+".html", 2, int64(i*10))
+	}
+	m, ok := p.Piggyback("/new.html", 1000, Filter{MaxPiggy: 3})
+	if !ok || len(m.Elements) != 3 {
+		t.Fatalf("cap not applied: %+v, %v", m, ok)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sort"
+
+	"piggyback/internal/trace"
+)
+
+// Implication is one membership pair in a probability-based volume:
+// resource s (Elem) belongs to r's volume with implication probability
+// P = p(s|r), and — after thinning — effective probability EffP.
+type Implication struct {
+	Elem Element
+	P    float64
+	EffP float64
+}
+
+// ProbVolumes is the probability-based volume engine (§3.3): each resource
+// r has its own volume, the set of resources s with p(s|r) >= Pt. Volumes
+// are built offline by a ProbBuilder ("in our experiments, we applied a
+// single set of volumes for the duration of each log") and are immutable;
+// concurrent readers are safe.
+type ProbVolumes struct {
+	// T is the co-occurrence window the volumes were built with.
+	T int64
+	// Pt is the base membership threshold.
+	Pt float64
+	// ServerMaxPiggy caps elements per message server-side; zero means
+	// no cap.
+	ServerMaxPiggy int
+
+	imps    map[string][]Implication // r -> implications sorted by P desc
+	ids     map[string]VolumeID      // r -> volume id
+	counts  map[string]int           // c_r, for access filters
+	attrs   map[string]Element       // latest attributes per resource
+	sameDir int
+}
+
+// Observe is a no-op: probability-based volumes are constructed offline and
+// held fixed for the duration of a log, per the paper's evaluation.
+func (v *ProbVolumes) Observe(a Access) {}
+
+// Piggyback builds the piggyback message for a request for url: the
+// implications of url with P >= max(Pt, f.ProbThreshold) and EffP surviving
+// any applied thinning, restricted by the filter's element constraints and
+// capped at the effective maxpiggy. ok=false when the filter disables
+// piggybacking, lists the resource's volume in its RPV, or nothing passes.
+func (v *ProbVolumes) Piggyback(url string, now int64, f Filter) (Message, bool) {
+	if f.Disabled {
+		return Message{}, false
+	}
+	id, ok := v.ids[url]
+	if !ok {
+		return Message{}, false
+	}
+	if f.HasRPV(id) {
+		return Message{}, false
+	}
+	imps := v.imps[url]
+	if len(imps) == 0 {
+		return Message{}, false
+	}
+	pt := v.Pt
+	if f.ProbThreshold > pt {
+		pt = f.ProbThreshold
+	}
+	max := f.Cap(v.ServerMaxPiggy)
+	if max <= 0 {
+		max = 1 << 30
+	}
+	var elems []Element
+	for i := range imps {
+		if imps[i].P < pt {
+			break // sorted by P descending
+		}
+		e := imps[i].Elem
+		if f.MinAccess > 0 && v.counts[e.URL] < f.MinAccess {
+			continue
+		}
+		if !f.Admits(e, trace.ContentType(e.URL)) {
+			continue
+		}
+		elems = append(elems, e)
+		if len(elems) >= max {
+			break
+		}
+	}
+	if len(elems) == 0 {
+		return Message{}, false
+	}
+	return Message{Volume: id, Elements: elems}, true
+}
+
+// VolumeOf returns the volume id of url (each resource anchors its own
+// volume).
+func (v *ProbVolumes) VolumeOf(url string) (VolumeID, bool) {
+	id, ok := v.ids[url]
+	return id, ok
+}
+
+// Implications returns url's membership list (sorted by P descending).
+// The returned slice is shared; callers must not modify it.
+func (v *ProbVolumes) Implications(url string) []Implication { return v.imps[url] }
+
+// Resources returns the number of resources with a volume id.
+func (v *ProbVolumes) Resources() int { return len(v.ids) }
+
+// NumPairs returns the total implication pairs across all volumes.
+func (v *ProbVolumes) NumPairs() int {
+	n := 0
+	for _, imps := range v.imps {
+		n += len(imps)
+	}
+	return n
+}
+
+// AccessCount returns c_r for a resource.
+func (v *ProbVolumes) AccessCount(url string) int { return v.counts[url] }
+
+// VolumeStats summarizes volume structure for the symmetry analysis of
+// §3.3.2: how many resources belong to their own volume (always zero here —
+// self-pairs carry no prediction value and are never counted), what
+// fraction of memberships are symmetric (s in r's volume and r in s's),
+// and the membership-count distribution.
+type VolumeStats struct {
+	Resources        int
+	Pairs            int
+	SymmetricPairs   int
+	SelfMembers      int
+	MeanVolumeSize   float64
+	MeanMemberOfVols float64
+}
+
+// Stats computes VolumeStats over memberships with P >= pt.
+func (v *ProbVolumes) Stats(pt float64) VolumeStats {
+	var st VolumeStats
+	st.Resources = len(v.ids)
+	member := make(map[string]map[string]bool, len(v.imps))
+	for r, imps := range v.imps {
+		for i := range imps {
+			if imps[i].P < pt {
+				break
+			}
+			m := member[r]
+			if m == nil {
+				m = make(map[string]bool, 4)
+				member[r] = m
+			}
+			m[imps[i].Elem.URL] = true
+		}
+	}
+	memberOf := make(map[string]int)
+	for r, m := range member {
+		st.Pairs += len(m)
+		for s := range m {
+			memberOf[s]++
+			if s == r {
+				st.SelfMembers++
+			}
+			if back, ok := member[s]; ok && back[r] {
+				st.SymmetricPairs++
+			}
+		}
+	}
+	if n := len(member); n > 0 {
+		st.MeanVolumeSize = float64(st.Pairs) / float64(n)
+	}
+	if n := len(memberOf); n > 0 {
+		total := 0
+		for _, c := range memberOf {
+			total += c
+		}
+		st.MeanMemberOfVols = float64(total) / float64(n)
+	}
+	return st
+}
+
+// ProbDistribution returns the implication probabilities of every stored
+// pair, sorted ascending — the data behind Fig 5(b)'s distribution of
+// implication probabilities.
+func (v *ProbVolumes) ProbDistribution() []float64 {
+	var ps []float64
+	for _, imps := range v.imps {
+		for i := range imps {
+			ps = append(ps, imps[i].P)
+		}
+	}
+	sort.Float64s(ps)
+	return ps
+}
+
+// clone duplicates the volume set with fresh implication slices (shared
+// Element values are immutable).
+func (v *ProbVolumes) clone() *ProbVolumes {
+	nv := &ProbVolumes{
+		T:              v.T,
+		Pt:             v.Pt,
+		ServerMaxPiggy: v.ServerMaxPiggy,
+		imps:           make(map[string][]Implication, len(v.imps)),
+		ids:            v.ids,
+		counts:         v.counts,
+		attrs:          v.attrs,
+		sameDir:        v.sameDir,
+	}
+	for r, imps := range v.imps {
+		nv.imps[r] = append([]Implication(nil), imps...)
+	}
+	return nv
+}
+
+// RestrictSameDir returns a copy of the volumes keeping only pairs whose
+// resources share the same level-k directory prefix — applying the
+// "combined volumes" restriction after the fact (§3.3.2, bottom curve of
+// Fig 5(a)).
+func (v *ProbVolumes) RestrictSameDir(level int) *ProbVolumes {
+	nv := v.clone()
+	nv.sameDir = level
+	for r, imps := range nv.imps {
+		rp := trace.DirPrefix(r, level)
+		kept := imps[:0]
+		for i := range imps {
+			if trace.DirPrefix(imps[i].Elem.URL, level) == rp {
+				kept = append(kept, imps[i])
+			}
+		}
+		if len(kept) == 0 {
+			delete(nv.imps, r)
+		} else {
+			nv.imps[r] = kept
+		}
+	}
+	return nv
+}
+
+// WithPt returns a copy whose base membership threshold is pt — used by the
+// harness to sweep thresholds over one built volume set.
+func (v *ProbVolumes) WithPt(pt float64) *ProbVolumes {
+	nv := v.clone()
+	nv.Pt = pt
+	return nv
+}

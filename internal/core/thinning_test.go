@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"piggyback/internal/trace"
+)
+
+// redundantTrace builds a log where /a/p1.html and /a/p2.html are ALWAYS
+// requested together (p1 first), both followed by /a/img.gif. p1's
+// prediction of img is effective (it comes first); p2's prediction of img
+// is always redundant — img is already predicted when p2 arrives.
+func redundantTrace(visits int) trace.Log {
+	var l trace.Log
+	t := int64(1000)
+	for v := 0; v < visits; v++ {
+		client := "c" + strconv.Itoa(v%3)
+		l = append(l, trace.Record{Time: t, Client: client, URL: "/a/p1.html", Size: 100})
+		l = append(l, trace.Record{Time: t + 5, Client: client, URL: "/a/p2.html", Size: 100})
+		l = append(l, trace.Record{Time: t + 10, Client: client, URL: "/a/img.gif", Size: 100})
+		t += 1000
+	}
+	l.SortByTime()
+	return l
+}
+
+func buildVolumes(t *testing.T, log trace.Log, pt float64) *ProbVolumes {
+	t.Helper()
+	b := NewProbBuilder(ProbConfig{T: 300, Pt: pt})
+	b.ObserveLog(log)
+	return b.Build(0)
+}
+
+func implication(v *ProbVolumes, r, s string) (Implication, bool) {
+	for _, imp := range v.Implications(r) {
+		if imp.Elem.URL == s {
+			return imp, true
+		}
+	}
+	return Implication{}, false
+}
+
+func TestThinRemovesRedundantPredictions(t *testing.T) {
+	log := redundantTrace(12)
+	v := buildVolumes(t, log, 0.2)
+
+	// Before thinning, both p1->img and p2->img have p = 1.
+	if imp, ok := implication(v, "/a/p2.html", "/a/img.gif"); !ok || imp.P < 0.99 {
+		t.Fatalf("pre-thinning p2->img = %+v, %v", imp, ok)
+	}
+
+	thinned := v.Thin(log, 0.2)
+
+	// p1's prediction of img is effective (new + true) every time.
+	if imp, ok := implication(thinned, "/a/p1.html", "/a/img.gif"); !ok || imp.EffP < 0.99 {
+		t.Errorf("p1->img should survive with EffP ~1: %+v, %v", imp, ok)
+	}
+	// p2's prediction of img is always redundant: removed.
+	if imp, ok := implication(thinned, "/a/p2.html", "/a/img.gif"); ok {
+		t.Errorf("p2->img should be thinned away, still present: %+v", imp)
+	}
+}
+
+func TestThinShrinksPiggybackWithoutLosingRecall(t *testing.T) {
+	log := redundantTrace(12)
+	v := buildVolumes(t, log, 0.2)
+	thinned := v.Thin(log, 0.2)
+
+	before, _ := v.Piggyback("/a/p2.html", 1, Filter{})
+	after, okAfter := thinned.Piggyback("/a/p2.html", 1, Filter{})
+	if okAfter && len(after.Elements) >= len(before.Elements) {
+		t.Errorf("thinning should shrink p2's piggyback: %d -> %d",
+			len(before.Elements), len(after.Elements))
+	}
+	// p1's volume keeps predicting img: recall preserved.
+	m, ok := thinned.Piggyback("/a/p1.html", 1, Filter{})
+	if !ok {
+		t.Fatal("p1 lost its piggyback entirely")
+	}
+	found := false
+	for _, e := range m.Elements {
+		if e.URL == "/a/img.gif" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("effective prediction p1->img lost")
+	}
+}
+
+func TestThinDoesNotModifyInput(t *testing.T) {
+	log := redundantTrace(8)
+	v := buildVolumes(t, log, 0.2)
+	nBefore := v.NumPairs()
+	_ = v.Thin(log, 0.5)
+	if v.NumPairs() != nBefore {
+		t.Error("Thin mutated its receiver")
+	}
+}
+
+func TestMeasureEffectivenessNewnessNotTrueness(t *testing.T) {
+	// Effectiveness measures redundancy, not fulfilment: a sole
+	// predictor keeps effectiveness 1 even when s never arrives (the
+	// paper's thinning "does not have a significant impact on the
+	// prediction rate" precisely because sole predictors survive).
+	var l trace.Log
+	for v := 0; v < 6; v++ {
+		tt := int64(1000 * (v + 1))
+		l = append(l, trace.Record{Time: tt, Client: "c", URL: "/a/r.html"})
+		l = append(l, trace.Record{Time: tt + 5, Client: "c", URL: "/a/s.html"})
+	}
+	vols := buildVolumes(t, l, 0.2)
+
+	// Replay a phase where s never follows r: each r-occurrence is far
+	// from the previous (window expired), so every prediction is new.
+	var replay trace.Log
+	for v := 0; v < 6; v++ {
+		tt := int64(1000 * (v + 1))
+		replay = append(replay, trace.Record{Time: tt, Client: "c", URL: "/a/r.html"})
+	}
+	eff := vols.MeasureEffectiveness(replay)
+	if em := eff["/a/r.html"]; em["/a/s.html"] < 0.99 {
+		t.Errorf("sole predictor eff = %v, want ~1 (newness-based)", em["/a/s.html"])
+	}
+}
+
+func TestMeasureEffectivenessRedundantWithinWindow(t *testing.T) {
+	// r requested twice within T: the second prediction of s is
+	// redundant, so effectiveness is 1/2.
+	var l trace.Log
+	for v := 0; v < 6; v++ {
+		tt := int64(1000 * (v + 1))
+		l = append(l, trace.Record{Time: tt, Client: "c", URL: "/a/r.html"})
+		l = append(l, trace.Record{Time: tt + 5, Client: "c", URL: "/a/s.html"})
+	}
+	vols := buildVolumes(t, l, 0.2)
+
+	var replay trace.Log
+	for v := 0; v < 6; v++ {
+		tt := int64(1000 * (v + 1))
+		replay = append(replay, trace.Record{Time: tt, Client: "c", URL: "/a/r.html"})
+		replay = append(replay, trace.Record{Time: tt + 10, Client: "c", URL: "/a/r.html"})
+	}
+	eff := vols.MeasureEffectiveness(replay)
+	got := eff["/a/r.html"]["/a/s.html"]
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("eff = %v, want 0.5 (half the predictions redundant)", got)
+	}
+}
+
+func TestMeasureEffectivenessExpiryAllowsReCredit(t *testing.T) {
+	// Visits are far apart (> T): each r-occurrence's prediction of s is
+	// new again, and each comes true, so effectiveness is 1.
+	var l trace.Log
+	for v := 0; v < 10; v++ {
+		tt := int64(10000 * (v + 1))
+		l = append(l, trace.Record{Time: tt, Client: "c", URL: "/a/r.html"})
+		l = append(l, trace.Record{Time: tt + 5, Client: "c", URL: "/a/s.html"})
+	}
+	vols := buildVolumes(t, l, 0.2)
+	eff := vols.MeasureEffectiveness(l)
+	if em := eff["/a/r.html"]; em["/a/s.html"] < 0.99 {
+		t.Errorf("eff(r->s) = %v, want ~1", em["/a/s.html"])
+	}
+}
+
+func TestThinZeroThresholdKeepsEverything(t *testing.T) {
+	log := redundantTrace(8)
+	v := buildVolumes(t, log, 0.2)
+	thinned := v.Thin(log, 0)
+	if thinned.NumPairs() != v.NumPairs() {
+		t.Errorf("eff=0 thinning dropped pairs: %d -> %d", v.NumPairs(), thinned.NumPairs())
+	}
+}

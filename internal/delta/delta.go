@@ -1,0 +1,183 @@
+// Package delta implements block-level delta encoding for HTTP responses —
+// the §4 enhancement the paper cites from Mogul et al. [23]: "Instead of
+// simply removing stale resources from the cache, the proxy could
+// construct an updated version by requesting that the server transmit the
+// difference between the old and new versions... this should be very
+// effective in reducing the amount of data transfer, since most changes
+// are small, relative to the size of the resource."
+//
+// The encoding is deliberately simple: both sides split the resource into
+// fixed-size blocks; the patch carries only the blocks that differ plus
+// the new length. It is self-describing and line-framed so it can ride as
+// an HTTP body.
+package delta
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DefaultBlockSize is the block granularity used when callers pass 0.
+const DefaultBlockSize = 512
+
+// maxPatchBytes bounds decoded patches.
+const maxPatchBytes = 64 << 20
+
+// Patch is a block-level difference between two versions of a resource.
+type Patch struct {
+	// BlockSize is the block granularity.
+	BlockSize int
+	// NewLen is the total length of the new version.
+	NewLen int
+	// Blocks are the changed blocks, ascending by index. The final
+	// block may be shorter than BlockSize.
+	Blocks []Block
+}
+
+// Block is one changed block.
+type Block struct {
+	Index int
+	Data  []byte
+}
+
+// ErrBadPatch reports a malformed or inapplicable patch.
+var ErrBadPatch = errors.New("delta: bad patch")
+
+// Make computes the patch that transforms old into new using the given
+// block size (0 = DefaultBlockSize).
+func Make(oldBody, newBody []byte, blockSize int) Patch {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	p := Patch{BlockSize: blockSize, NewLen: len(newBody)}
+	nBlocks := (len(newBody) + blockSize - 1) / blockSize
+	for i := 0; i < nBlocks; i++ {
+		lo := i * blockSize
+		hi := lo + blockSize
+		if hi > len(newBody) {
+			hi = len(newBody)
+		}
+		newBlock := newBody[lo:hi]
+		// The corresponding old block (may be short or absent).
+		var oldBlock []byte
+		if lo < len(oldBody) {
+			oh := hi
+			if oh > len(oldBody) {
+				oh = len(oldBody)
+			}
+			oldBlock = oldBody[lo:oh]
+		}
+		if !bytes.Equal(newBlock, oldBlock) {
+			p.Blocks = append(p.Blocks, Block{Index: i, Data: newBlock})
+		}
+	}
+	return p
+}
+
+// Apply reconstructs the new version from the old body and the patch.
+func Apply(oldBody []byte, p Patch) ([]byte, error) {
+	if p.BlockSize <= 0 || p.NewLen < 0 || p.NewLen > maxPatchBytes {
+		return nil, fmt.Errorf("%w: block size %d, new length %d", ErrBadPatch, p.BlockSize, p.NewLen)
+	}
+	out := make([]byte, p.NewLen)
+	// Start from the old content truncated/extended to the new length.
+	copy(out, oldBody)
+	for _, b := range p.Blocks {
+		lo := b.Index * p.BlockSize
+		if b.Index < 0 || lo >= p.NewLen && len(b.Data) > 0 {
+			return nil, fmt.Errorf("%w: block %d beyond new length %d", ErrBadPatch, b.Index, p.NewLen)
+		}
+		if lo+len(b.Data) > p.NewLen {
+			return nil, fmt.Errorf("%w: block %d overflows new length", ErrBadPatch, b.Index)
+		}
+		if len(b.Data) > p.BlockSize {
+			return nil, fmt.Errorf("%w: block %d larger than block size", ErrBadPatch, b.Index)
+		}
+		copy(out[lo:], b.Data)
+	}
+	return out, nil
+}
+
+// WireSize returns the encoded patch size in bytes.
+func (p Patch) WireSize() int {
+	n := len(p.header())
+	for _, b := range p.Blocks {
+		n += len(blockHeader(b)) + len(b.Data) + 1
+	}
+	return n
+}
+
+func (p Patch) header() string {
+	return fmt.Sprintf("blockdiff %d %d %d\n", p.BlockSize, p.NewLen, len(p.Blocks))
+}
+
+func blockHeader(b Block) string {
+	return fmt.Sprintf("%d %d\n", b.Index, len(b.Data))
+}
+
+// Encode renders the patch as a self-describing byte stream:
+//
+//	blockdiff <blockSize> <newLen> <numBlocks>\n
+//	<index> <len>\n<data>\n   (per changed block)
+func (p Patch) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(p.header())
+	for _, b := range p.Blocks {
+		buf.WriteString(blockHeader(b))
+		buf.Write(b.Data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Decode parses an encoded patch.
+func Decode(data []byte) (Patch, error) {
+	var p Patch
+	br := bufio.NewReader(bytes.NewReader(data))
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return p, fmt.Errorf("%w: missing header", ErrBadPatch)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 4 || fields[0] != "blockdiff" {
+		return p, fmt.Errorf("%w: bad header %q", ErrBadPatch, header)
+	}
+	bs, err1 := strconv.Atoi(fields[1])
+	nl, err2 := strconv.Atoi(fields[2])
+	nb, err3 := strconv.Atoi(fields[3])
+	if err1 != nil || err2 != nil || err3 != nil ||
+		bs <= 0 || nl < 0 || nl > maxPatchBytes || nb < 0 || nb > nl/bs+1 {
+		return p, fmt.Errorf("%w: bad header values %q", ErrBadPatch, header)
+	}
+	p.BlockSize = bs
+	p.NewLen = nl
+	for i := 0; i < nb; i++ {
+		bh, err := br.ReadString('\n')
+		if err != nil {
+			return p, fmt.Errorf("%w: truncated block header", ErrBadPatch)
+		}
+		bf := strings.Fields(bh)
+		if len(bf) != 2 {
+			return p, fmt.Errorf("%w: bad block header %q", ErrBadPatch, bh)
+		}
+		idx, err1 := strconv.Atoi(bf[0])
+		blen, err2 := strconv.Atoi(bf[1])
+		if err1 != nil || err2 != nil || idx < 0 || blen < 0 || blen > bs {
+			return p, fmt.Errorf("%w: bad block header values %q", ErrBadPatch, bh)
+		}
+		blockData := make([]byte, blen)
+		if _, err := io.ReadFull(br, blockData); err != nil {
+			return p, fmt.Errorf("%w: truncated block data", ErrBadPatch)
+		}
+		if nl, err := br.ReadByte(); err != nil || nl != '\n' {
+			return p, fmt.Errorf("%w: missing block terminator", ErrBadPatch)
+		}
+		p.Blocks = append(p.Blocks, Block{Index: idx, Data: blockData})
+	}
+	return p, nil
+}

@@ -1,0 +1,49 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the patch decoder, and any
+// patch that decodes must re-encode/decode to an equivalent patch.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("blockdiff 512 1024 1\n0 3\nabc\n"))
+	f.Add([]byte("blockdiff 512 0 0\n"))
+	f.Add([]byte("not a patch"))
+	f.Add(Make(bytes.Repeat([]byte("x"), 2000), bytes.Repeat([]byte("y"), 1500), 256).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		p2, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if p2.NewLen != p.NewLen || len(p2.Blocks) != len(p.Blocks) {
+			t.Fatalf("re-decode drifted: %+v vs %+v", p2, p)
+		}
+	})
+}
+
+// FuzzMakeApply: for any (old, new, blockSize), applying the made patch
+// reconstructs new exactly.
+func FuzzMakeApply(f *testing.F) {
+	f.Add([]byte("old content"), []byte("new content"), 4)
+	f.Add([]byte{}, []byte("grown from nothing"), 512)
+	f.Add([]byte("shrink me away"), []byte{}, 3)
+	f.Fuzz(func(t *testing.T, oldBody, newBody []byte, blockSize int) {
+		if blockSize < 0 || blockSize > 1<<20 || len(newBody) > 1<<20 {
+			return
+		}
+		p := Make(oldBody, newBody, blockSize)
+		got, err := Apply(oldBody, p)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if !bytes.Equal(got, newBody) {
+			t.Fatalf("reconstruction mismatch: %d vs %d bytes", len(got), len(newBody))
+		}
+	})
+}

@@ -1,0 +1,316 @@
+package httpwire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler responds to a request. Implementations must be safe for
+// concurrent use; one goroutine serves each connection.
+type Handler interface {
+	ServeWire(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(*Request) *Response
+
+// ServeWire calls f.
+func (f HandlerFunc) ServeWire(req *Request) *Response { return f(req) }
+
+// Server serves HTTP/1.1 over a listener with persistent connections:
+// requests on one connection are handled in order, and the connection
+// stays open until the client sends Connection: close, the idle timeout
+// fires, or either side closes (§1: persistent connections avoid the
+// round-trip delays of establishing a TCP connection per transfer).
+type Server struct {
+	Handler Handler
+	// IdleTimeout closes connections with no request activity. Zero
+	// means 60 seconds, the uniform timeout the paper mentions.
+	IdleTimeout time.Duration
+	// ErrorLog receives connection-level errors; nil discards them.
+	ErrorLog *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Serve accepts connections on l until Close. It always returns a non-nil
+// error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves. The returned address is
+// available via Addr after the listener is bound; for tests, bind first
+// with net.Listen and call Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close shuts the listener and all live connections, then waits for
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	if s.IdleTimeout > 0 {
+		return s.IdleTimeout
+	}
+	return 60 * time.Second
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout())); err != nil {
+			return
+		}
+		req, err := ReadRequest(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				var nerr net.Error
+				if !(errors.As(err, &nerr) && nerr.Timeout()) {
+					s.logf("httpwire: read request from %s: %v", conn.RemoteAddr(), err)
+					if errors.Is(err, ErrMalformed) {
+						resp := NewResponse(400)
+						resp.Header.Set("Connection", "close")
+						_ = WriteResponse(bw, resp, false)
+					}
+				}
+			}
+			return
+		}
+		req.RemoteAddr = conn.RemoteAddr().String()
+		resp := s.Handler.ServeWire(req)
+		if resp == nil {
+			resp = NewResponse(500)
+		}
+		close := req.Header.WantsClose() || req.Proto == "HTTP/1.0"
+		if close {
+			if resp.Header == nil {
+				resp.Header = make(Header)
+			}
+			resp.Header.Set("Connection", "close")
+		}
+		if err := WriteResponse(bw, resp, req.Method == "HEAD"); err != nil {
+			s.logf("httpwire: write response to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if close || resp.Header.WantsClose() {
+			return
+		}
+	}
+}
+
+// Client issues requests over persistent connections, one connection per
+// server address, serializing requests on each (a proxy lets multiple
+// clients share a single persistent connection to a server, §1).
+type Client struct {
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response exchange; zero = 30s.
+	RequestTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*clientConn
+}
+
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewClient returns a Client ready for use.
+func NewClient() *Client { return &Client{conns: make(map[string]*clientConn)} }
+
+func (c *Client) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 30 * time.Second
+}
+
+// Do sends req to the server at addr ("host:port") and returns its
+// response, transparently reusing or re-establishing the persistent
+// connection. A request that fails on a reused connection (the server may
+// have timed it out) is retried once on a fresh connection.
+func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	cc, reused, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(cc, addr, req)
+	if err != nil && reused {
+		c.drop(addr, cc)
+		cc, _, err = c.conn(addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err = c.roundTrip(cc, addr, req)
+	}
+	if err != nil {
+		c.drop(addr, cc)
+		return nil, err
+	}
+	if resp.Header.WantsClose() {
+		c.drop(addr, cc)
+	}
+	return resp, nil
+}
+
+func (c *Client) roundTrip(cc *clientConn, addr string, req *Request) (*Response, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.conn == nil {
+		return nil, net.ErrClosed
+	}
+	if err := cc.conn.SetDeadline(time.Now().Add(c.requestTimeout())); err != nil {
+		return nil, err
+	}
+	if err := WriteRequest(cc.bw, req); err != nil {
+		return nil, err
+	}
+	return ReadResponse(cc.br, req.Method == "HEAD")
+}
+
+// conn returns the live connection for addr, dialing if needed, and
+// whether it was reused.
+func (c *Client) conn(addr string) (*clientConn, bool, error) {
+	c.mu.Lock()
+	if cc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return cc, true, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+	if err != nil {
+		return nil, false, err
+	}
+	cc := &clientConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	c.mu.Lock()
+	if old, ok := c.conns[addr]; ok {
+		// Lost a race; use the established one.
+		c.mu.Unlock()
+		conn.Close()
+		return old, true, nil
+	}
+	c.conns[addr] = cc
+	c.mu.Unlock()
+	return cc, false, nil
+}
+
+// drop closes and forgets the connection for addr if it is still cc.
+func (c *Client) drop(addr string, cc *clientConn) {
+	c.mu.Lock()
+	if cur, ok := c.conns[addr]; ok && cur == cc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	cc.mu.Lock()
+	if cc.conn != nil {
+		cc.conn.Close()
+		cc.conn = nil
+	}
+	cc.mu.Unlock()
+}
+
+// Close shuts all pooled connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = make(map[string]*clientConn)
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.mu.Lock()
+		if cc.conn != nil {
+			cc.conn.Close()
+			cc.conn = nil
+		}
+		cc.mu.Unlock()
+	}
+}

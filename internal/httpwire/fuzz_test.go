@@ -1,0 +1,48 @@
+package httpwire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: the wire parsers face bytes from the network and must
+// never panic, whatever arrives. `go test` runs the seed corpus; extend
+// with `go test -fuzz FuzzReadResponse ./internal/httpwire`.
+
+func FuzzReadRequest(f *testing.F) {
+	f.Add([]byte("GET /a/x.html HTTP/1.1\r\nHost: example.com\r\nPiggy-Filter: maxpiggy=10\r\n\r\n"))
+	f.Add([]byte("POST /s HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("GET / HTTP/1.0\r\n\r\n"))
+	f.Add([]byte("GARBAGE"))
+	f.Add([]byte("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		// A successfully parsed request must re-serialize without error.
+		var buf bytes.Buffer
+		if werr := WriteRequest(bufio.NewWriter(&buf), req); werr != nil {
+			t.Fatalf("reserialize: %v", werr)
+		}
+	})
+}
+
+func FuzzReadResponse(f *testing.F) {
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello"))
+	f.Add([]byte("HTTP/1.1 304 Not Modified\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nTrailer: P-Volume\r\n\r\n3\r\nabc\r\n0\r\nP-Volume: 1; /a 2 3\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nffffffffffffffff\r\n"))
+	f.Add([]byte("NOT HTTP AT ALL"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bufio.NewReader(bytes.NewReader(data)), false)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteResponse(bufio.NewWriter(&buf), resp, false); werr != nil {
+			t.Fatalf("reserialize: %v", werr)
+		}
+	})
+}

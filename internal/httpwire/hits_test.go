@@ -1,0 +1,61 @@
+package httpwire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHitsRoundTrip(t *testing.T) {
+	req := NewRequest("GET", "/x")
+	SetHits(req, []string{"/a/one.html", "/a/two.gif"})
+	got := GetHits(req)
+	// Most-recent-first encoding reverses the slice.
+	want := []string{"/a/two.gif", "/a/one.html"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GetHits = %v, want %v", got, want)
+	}
+}
+
+func TestHitsEmpty(t *testing.T) {
+	req := NewRequest("GET", "/x")
+	SetHits(req, nil)
+	if req.Header.Has(FieldPiggyHits) {
+		t.Error("empty hits should not set the header")
+	}
+	if GetHits(req) != nil {
+		t.Error("GetHits on absent header")
+	}
+}
+
+func TestHitsSkipsUnencodableURLs(t *testing.T) {
+	req := NewRequest("GET", "/x")
+	SetHits(req, []string{"/ok.html", "/bad url.html", "/with,comma", ""})
+	got := GetHits(req)
+	if len(got) != 1 || got[0] != "/ok.html" {
+		t.Fatalf("GetHits = %v", got)
+	}
+}
+
+func TestHitsBudget(t *testing.T) {
+	var urls []string
+	for i := 0; i < 500; i++ {
+		urls = append(urls, "/directory/with/long/path/resource-"+strings.Repeat("x", 20)+".html")
+	}
+	req := NewRequest("GET", "/x")
+	SetHits(req, urls)
+	if len(req.Header.Get(FieldPiggyHits)) > maxHitsHeader {
+		t.Errorf("header exceeds budget: %d bytes", len(req.Header.Get(FieldPiggyHits)))
+	}
+	if len(GetHits(req)) == 0 {
+		t.Error("budget truncation dropped everything")
+	}
+	// The freshest (last) hit must survive truncation.
+	urls[len(urls)-1] = "/freshest.html"
+	req2 := NewRequest("GET", "/x")
+	SetHits(req2, urls)
+	got := GetHits(req2)
+	if got[0] != "/freshest.html" {
+		t.Errorf("freshest hit lost: first = %q", got[0])
+	}
+}

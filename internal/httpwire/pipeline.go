@@ -1,0 +1,84 @@
+package httpwire
+
+import (
+	"net"
+	"time"
+)
+
+// Pipelining (§1: persistent connections "enable pipelining of multiple
+// requests and responses" — e.g. the embedded images of an HTML document
+// without per-request round trips). Do sends one request and waits; DoAll
+// writes the whole batch before reading any response, so the pipe carries
+// at most one round-trip of latency for the entire page.
+
+// DoAll pipelines the requests to addr over one persistent connection and
+// returns the responses in order. On any error the connection is dropped
+// and the error returned; responses received before the failure are
+// returned alongside it. HEAD requests are pipelined correctly (their
+// responses carry no body).
+func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	cc, reused, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resps, err := c.pipeline(cc, reqs)
+	if err != nil && reused && len(resps) == 0 {
+		// The idle connection may have been closed by the server;
+		// retry the whole batch once on a fresh connection.
+		c.drop(addr, cc)
+		cc, _, err = c.conn(addr)
+		if err != nil {
+			return nil, err
+		}
+		resps, err = c.pipeline(cc, reqs)
+	}
+	if err != nil {
+		c.drop(addr, cc)
+		return resps, err
+	}
+	for _, r := range resps {
+		if r.Header.WantsClose() {
+			c.drop(addr, cc)
+			break
+		}
+	}
+	return resps, nil
+}
+
+func (c *Client) pipeline(cc *clientConn, reqs []*Request) ([]*Response, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.conn == nil {
+		return nil, net.ErrClosed
+	}
+	if err := cc.conn.SetDeadline(deadlineFor(c, len(reqs))); err != nil {
+		return nil, err
+	}
+	for _, req := range reqs {
+		if err := WriteRequest(cc.bw, req); err != nil {
+			return nil, err
+		}
+	}
+	resps := make([]*Response, 0, len(reqs))
+	for _, req := range reqs {
+		resp, err := ReadResponse(cc.br, req.Method == "HEAD")
+		if err != nil {
+			return resps, err
+		}
+		resps = append(resps, resp)
+	}
+	return resps, nil
+}
+
+func deadlineFor(c *Client, n int) time.Time {
+	d := c.requestTimeout()
+	// The whole pipeline shares one deadline, scaled modestly with batch
+	// size so large pages don't trip the single-request timeout.
+	if n > 4 {
+		d += d / 2
+	}
+	return time.Now().Add(d)
+}

@@ -1,0 +1,134 @@
+package httpwire
+
+import (
+	"fmt"
+	"testing"
+
+	"piggyback/internal/core"
+)
+
+func TestPipelineBasic(t *testing.T) {
+	addr := startServer(t, HandlerFunc(echoHandler))
+	c := NewClient()
+	defer c.Close()
+
+	var reqs []*Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, NewRequest("GET", fmt.Sprintf("/p%d", i)))
+	}
+	resps, err := c.DoAll(addr, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	for i, r := range resps {
+		want := fmt.Sprintf("echo:/p%d", i)
+		if string(r.Body) != want {
+			t.Fatalf("response %d = %q, want %q (ordering!)", i, r.Body, want)
+		}
+	}
+}
+
+func TestPipelineEmpty(t *testing.T) {
+	c := NewClient()
+	defer c.Close()
+	resps, err := c.DoAll("127.0.0.1:1", nil)
+	if err != nil || resps != nil {
+		t.Fatalf("empty pipeline: %v, %v", resps, err)
+	}
+}
+
+func TestPipelineWithHEAD(t *testing.T) {
+	addr := startServer(t, HandlerFunc(echoHandler))
+	c := NewClient()
+	defer c.Close()
+	reqs := []*Request{
+		NewRequest("GET", "/a"),
+		NewRequest("HEAD", "/b"),
+		NewRequest("GET", "/c"),
+	}
+	resps, err := c.DoAll(addr, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resps[0].Body) != "echo:/a" || string(resps[2].Body) != "echo:/c" {
+		t.Errorf("GET bodies wrong: %q %q", resps[0].Body, resps[2].Body)
+	}
+	if len(resps[1].Body) != 0 {
+		t.Errorf("HEAD response carried a body: %q", resps[1].Body)
+	}
+}
+
+func TestPipelineWithTrailers(t *testing.T) {
+	// Piggyback trailers must frame correctly under pipelining: each
+	// chunked response terminates before the next begins.
+	h := HandlerFunc(func(req *Request) *Response {
+		resp := NewResponse(200)
+		resp.Body = []byte("body:" + req.Path)
+		if f, ok := GetFilter(req); ok && f.MaxPiggy > 0 {
+			AttachPiggyback(resp, core.Message{Volume: 3, Elements: []core.Element{
+				{URL: req.Path + ".sibling", Size: 1, LastModified: 2},
+			}})
+		}
+		return resp
+	})
+	addr := startServer(t, h)
+	c := NewClient()
+	defer c.Close()
+	var reqs []*Request
+	for i := 0; i < 5; i++ {
+		req := NewRequest("GET", fmt.Sprintf("/r%d", i))
+		SetFilter(req, core.Filter{MaxPiggy: 5})
+		reqs = append(reqs, req)
+	}
+	resps, err := c.DoAll(addr, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if string(r.Body) != fmt.Sprintf("body:/r%d", i) {
+			t.Fatalf("response %d body %q", i, r.Body)
+		}
+		m, ok := ExtractPiggyback(r)
+		if !ok || m.Elements[0].URL != fmt.Sprintf("/r%d.sibling", i) {
+			t.Fatalf("response %d piggyback %+v %v", i, m, ok)
+		}
+	}
+}
+
+func TestPipelineReusesConnectionAfterDo(t *testing.T) {
+	addr := startServer(t, HandlerFunc(echoHandler))
+	c := NewClient()
+	defer c.Close()
+	if _, err := c.Do(addr, NewRequest("GET", "/warm")); err != nil {
+		t.Fatal(err)
+	}
+	resps, err := c.DoAll(addr, []*Request{NewRequest("GET", "/a"), NewRequest("GET", "/b")})
+	if err != nil || len(resps) != 2 {
+		t.Fatalf("pipelined on reused conn: %v", err)
+	}
+	// And Do still works afterwards.
+	if _, err := c.Do(addr, NewRequest("GET", "/after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineRetriesStaleConnection(t *testing.T) {
+	addr := startServer(t, HandlerFunc(echoHandler))
+	c := NewClient()
+	defer c.Close()
+	if _, err := c.Do(addr, NewRequest("GET", "/warm")); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	for _, cc := range c.conns {
+		cc.conn.Close()
+	}
+	c.mu.Unlock()
+	resps, err := c.DoAll(addr, []*Request{NewRequest("GET", "/x"), NewRequest("GET", "/y")})
+	if err != nil || len(resps) != 2 {
+		t.Fatalf("pipeline retry failed: %v (%d responses)", err, len(resps))
+	}
+}

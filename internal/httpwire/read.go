@@ -1,0 +1,200 @@
+package httpwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Framing limits: generous for the protocol's needs, tight enough to bound
+// a misbehaving peer.
+const (
+	maxLineBytes   = 64 << 10
+	maxHeaderCount = 256
+	maxBodyBytes   = 64 << 20
+)
+
+// ErrMalformed reports an unparsable message.
+var ErrMalformed = errors.New("httpwire: malformed message")
+
+// readLine reads one CRLF- (or bare-LF-) terminated line without the
+// terminator.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line != "" {
+			return "", io.ErrUnexpectedEOF
+		}
+		return "", err
+	}
+	if len(line) > maxLineBytes {
+		return "", fmt.Errorf("%w: header line too long", ErrMalformed)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// readHeader reads header fields until the blank line.
+func readHeader(br *bufio.Reader) (Header, error) {
+	h := make(Header)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		if len(h) >= maxHeaderCount {
+			return nil, fmt.Errorf("%w: too many header fields", ErrMalformed)
+		}
+		key, val, found := strings.Cut(line, ":")
+		if !found || key == "" || strings.ContainsAny(key, " \t") {
+			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		h.Set(key, strings.TrimSpace(val))
+	}
+}
+
+// ReadRequest parses one request message from br. io.EOF is returned
+// cleanly when the connection closes between requests.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2]}
+	if !strings.HasPrefix(req.Proto, "HTTP/1.") {
+		return nil, fmt.Errorf("%w: unsupported protocol %q", ErrMalformed, req.Proto)
+	}
+	if req.Header, err = readHeader(br); err != nil {
+		return nil, fmt.Errorf("reading request header: %w", err)
+	}
+	body, _, err := readBody(br, req.Header, false)
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	req.Body = body
+	return req, nil
+}
+
+// ReadResponse parses one response message from br. Responses to HEAD
+// requests and 304s carry no body regardless of framing headers; pass
+// noBody accordingly.
+func ReadResponse(br *bufio.Reader, noBody bool) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	proto, rest, found := strings.Cut(line, " ")
+	if !found || !strings.HasPrefix(proto, "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	}
+	codeStr, reason, _ := strings.Cut(rest, " ")
+	code, err := strconv.Atoi(codeStr)
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, codeStr)
+	}
+	resp := &Response{Proto: proto, Status: code, Reason: reason}
+	if resp.Header, err = readHeader(br); err != nil {
+		return nil, fmt.Errorf("reading response header: %w", err)
+	}
+	if noBody || code == 304 || code/100 == 1 {
+		// 304s still carry the chunked trailer when the server used
+		// chunked framing to attach a piggyback.
+		if isChunked(resp.Header) {
+			body, trailer, err := readChunked(br)
+			if err != nil {
+				return nil, err
+			}
+			resp.Body, resp.Trailer = body, trailer
+		}
+		return resp, nil
+	}
+	body, trailer, err := readBody(br, resp.Header, true)
+	if err != nil {
+		return nil, fmt.Errorf("reading response body: %w", err)
+	}
+	resp.Body, resp.Trailer = body, trailer
+	return resp, nil
+}
+
+func isChunked(h Header) bool {
+	return strings.EqualFold(strings.TrimSpace(h.Get("Transfer-Encoding")), "chunked")
+}
+
+// readBody consumes the message body per the framing headers. Responses
+// (allowEOF) without explicit framing read to connection close.
+func readBody(br *bufio.Reader, h Header, allowEOF bool) (body []byte, trailer Header, err error) {
+	if isChunked(h) {
+		return readChunked(br)
+	}
+	if cl := h.Get("Content-Length"); cl != "" {
+		n, err := strconv.ParseInt(cl, 10, 64)
+		if err != nil || n < 0 || n > maxBodyBytes {
+			return nil, nil, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
+		}
+		if n == 0 {
+			return nil, nil, nil
+		}
+		body = make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, nil, err
+		}
+		return body, nil, nil
+	}
+	if !allowEOF {
+		return nil, nil, nil // requests without framing have no body
+	}
+	body, err = io.ReadAll(io.LimitReader(br, maxBodyBytes))
+	return body, nil, err
+}
+
+// readChunked consumes a chunked body and its trailer section.
+func readChunked(br *bufio.Reader) (body []byte, trailer Header, err error) {
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Chunk extensions after ';' are ignored.
+		sizeStr, _, _ := strings.Cut(line, ";")
+		size, err := strconv.ParseInt(strings.TrimSpace(sizeStr), 16, 64)
+		if err != nil || size < 0 {
+			return nil, nil, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, line)
+		}
+		if size == 0 {
+			break
+		}
+		if int64(len(body))+size > maxBodyBytes {
+			return nil, nil, fmt.Errorf("%w: chunked body too large", ErrMalformed)
+		}
+		chunk := make([]byte, size)
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, nil, err
+		}
+		body = append(body, chunk...)
+		// Trailing CRLF after the chunk data.
+		if line, err := readLine(br); err != nil {
+			return nil, nil, err
+		} else if line != "" {
+			return nil, nil, fmt.Errorf("%w: missing chunk terminator", ErrMalformed)
+		}
+	}
+	// Trailer fields until the final blank line.
+	trailer, err = readHeader(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(trailer) == 0 {
+		trailer = nil
+	}
+	return body, trailer, nil
+}

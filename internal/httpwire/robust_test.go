@@ -1,0 +1,170 @@
+package httpwire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// dripReader returns at most one byte per Read call — the adversarial
+// network that exposes any assumption that frames arrive whole.
+type dripReader struct {
+	data []byte
+	pos  int
+}
+
+func (d *dripReader) Read(p []byte) (int, error) {
+	if d.pos >= len(d.data) {
+		return 0, io.EOF
+	}
+	p[0] = d.data[d.pos]
+	d.pos++
+	return 1, nil
+}
+
+func TestReadResponseFromDrippingConnection(t *testing.T) {
+	resp := NewResponse(200)
+	resp.Body = []byte("a body that arrives one byte at a time")
+	resp.Trailer = Header{}
+	resp.Trailer.Set("P-Volume", "3; /a/b.html 100 200")
+	var buf bytes.Buffer
+	if err := WriteResponse(bufio.NewWriter(&buf), resp, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&dripReader{data: buf.Bytes()}), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != string(resp.Body) {
+		t.Errorf("body = %q", got.Body)
+	}
+	if got.Trailer.Get("P-Volume") != "3; /a/b.html 100 200" {
+		t.Errorf("trailer = %v", got.Trailer)
+	}
+}
+
+func TestReadRequestFromDrippingConnection(t *testing.T) {
+	req := NewRequest("GET", "/a/x.html")
+	req.Header.Set("Host", "example.com")
+	req.Header.Set("Piggy-Filter", "maxpiggy=10")
+	var buf bytes.Buffer
+	if err := WriteRequest(bufio.NewWriter(&buf), req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&dripReader{data: buf.Bytes()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Path != "/a/x.html" || got.Header.Get("Piggy-Filter") != "maxpiggy=10" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestReadResponseTruncatedMidChunk(t *testing.T) {
+	resp := NewResponse(200)
+	resp.Body = bytes.Repeat([]byte("x"), 1000)
+	resp.Trailer = Header{}
+	resp.Trailer.Set("P-Volume", "1; /a 1 2")
+	var buf bytes.Buffer
+	if err := WriteResponse(bufio.NewWriter(&buf), resp, false); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut the stream at several points inside the body and trailer: each
+	// must yield an error, never a silently truncated message.
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 3} {
+		_, err := ReadResponse(bufio.NewReader(bytes.NewReader(full[:cut])), false)
+		if err == nil {
+			t.Errorf("truncation at %d of %d not detected", cut, len(full))
+		}
+	}
+}
+
+func TestReadRequestTruncatedBody(t *testing.T) {
+	req := NewRequest("POST", "/submit")
+	req.Body = bytes.Repeat([]byte("d"), 500)
+	var buf bytes.Buffer
+	if err := WriteRequest(bufio.NewWriter(&buf), req); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(full[:len(full)-100]))); err == nil {
+		t.Error("truncated request body not detected")
+	}
+}
+
+func TestPipelinedResponsesBackToBack(t *testing.T) {
+	// Several framed messages on one stream, mixed framing: each read
+	// must consume exactly its own bytes.
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+
+	r1 := NewResponse(200)
+	r1.Body = []byte("first")
+	if err := WriteResponse(bw, r1, false); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewResponse(200)
+	r2.Body = []byte("second, chunked")
+	r2.Trailer = Header{}
+	r2.Trailer.Set("P-Volume", "2; /x 1 1")
+	if err := WriteResponse(bw, r2, false); err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewResponse(304)
+	if err := WriteResponse(bw, r3, false); err != nil {
+		t.Fatal(err)
+	}
+	r4 := NewResponse(200)
+	r4.Body = []byte("fourth")
+	if err := WriteResponse(bw, r4, false); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bufio.NewReader(&dripReader{data: buf.Bytes()})
+	g1, err := ReadResponse(br, false)
+	if err != nil || string(g1.Body) != "first" {
+		t.Fatalf("r1: %v %q", err, g1.Body)
+	}
+	g2, err := ReadResponse(br, false)
+	if err != nil || string(g2.Body) != "second, chunked" || g2.Trailer.Get("P-Volume") == "" {
+		t.Fatalf("r2: %v %q", err, g2.Body)
+	}
+	g3, err := ReadResponse(br, false)
+	if err != nil || g3.Status != 304 || len(g3.Body) != 0 {
+		t.Fatalf("r3: %v %+v", err, g3)
+	}
+	g4, err := ReadResponse(br, false)
+	if err != nil || string(g4.Body) != "fourth" {
+		t.Fatalf("r4: %v %q", err, g4.Body)
+	}
+}
+
+func TestChunkExtensionsIgnored(t *testing.T) {
+	wire := "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"5;ext=value\r\nhello\r\n0\r\n\r\n"
+	got, err := ReadResponse(bufio.NewReader(bytes.NewReader([]byte(wire))), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "hello" {
+		t.Errorf("body = %q", got.Body)
+	}
+}
+
+func TestHeaderLimitEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("GET / HTTP/1.1\r\n")
+	for i := 0; i < maxHeaderCount+10; i++ {
+		buf.WriteString("X-Filler-")
+		buf.WriteString(string(rune('a' + i%26)))
+		buf.WriteString(string(rune('a' + (i/26)%26)))
+		buf.WriteString(string(rune('a' + (i/676)%26)))
+		buf.WriteString(": v\r\n")
+	}
+	buf.WriteString("\r\n")
+	if _, err := ReadRequest(bufio.NewReader(&buf)); err == nil {
+		t.Error("header count limit not enforced")
+	}
+}

@@ -1,0 +1,145 @@
+package httpwire
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// writeHeader emits header fields in sorted order (deterministic wire
+// output simplifies testing and debugging).
+func writeHeader(bw *bufio.Writer, h Header) error {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(bw, "%s: %s\r\n", k, h[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRequest serializes req to bw and flushes. Requests with a body are
+// framed with Content-Length.
+func WriteRequest(bw *bufio.Writer, req *Request) error {
+	proto := req.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	if _, err := fmt.Fprintf(bw, "%s %s %s\r\n", req.Method, req.Path, proto); err != nil {
+		return err
+	}
+	h := req.Header
+	if h == nil {
+		h = make(Header)
+	}
+	if len(req.Body) > 0 || req.Method == "POST" || req.Method == "PUT" {
+		h = h.Clone()
+		h.Set("Content-Length", strconv.Itoa(len(req.Body)))
+	}
+	if err := writeHeader(bw, h); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return err
+	}
+	if len(req.Body) > 0 {
+		if _, err := bw.Write(req.Body); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteResponse serializes resp to bw and flushes.
+//
+// When resp.Trailer is non-empty the body is sent with chunked
+// transfer-coding: a Trailer header names the trailer fields, the body goes
+// out in one chunk immediately (never delayed while the piggyback is
+// constructed, §2.3), and the trailer fields follow the mandatory
+// zero-length chunk. Otherwise the body is framed with Content-Length.
+// noBody suppresses body bytes (HEAD responses) while keeping the framing
+// headers.
+func WriteResponse(bw *bufio.Writer, resp *Response, noBody bool) error {
+	proto := resp.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	reason := resp.Reason
+	if reason == "" {
+		reason = StatusText(resp.Status)
+	}
+	if _, err := fmt.Fprintf(bw, "%s %d %s\r\n", proto, resp.Status, reason); err != nil {
+		return err
+	}
+	h := resp.Header
+	if h == nil {
+		h = make(Header)
+	}
+	h = h.Clone()
+
+	chunked := len(resp.Trailer) > 0
+	if chunked {
+		h.Set("Transfer-Encoding", "chunked")
+		h.Del("Content-Length")
+		// §2.3: "The server must include a Trailer header field
+		// indicating the later appearance of the P-volume response
+		// header field."
+		names := make([]string, 0, len(resp.Trailer))
+		for k := range resp.Trailer {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		trailerList := ""
+		for i, n := range names {
+			if i > 0 {
+				trailerList += ", "
+			}
+			trailerList += n
+		}
+		h.Set("Trailer", trailerList)
+	} else if resp.Status != 304 {
+		h.Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	}
+
+	if err := writeHeader(bw, h); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return err
+	}
+
+	switch {
+	case chunked:
+		if !noBody && len(resp.Body) > 0 {
+			if _, err := fmt.Fprintf(bw, "%x\r\n", len(resp.Body)); err != nil {
+				return err
+			}
+			if _, err := bw.Write(resp.Body); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString("\r\n"); err != nil {
+				return err
+			}
+		}
+		// Mandatory zero-length chunk, then the trailer section.
+		if _, err := bw.WriteString("0\r\n"); err != nil {
+			return err
+		}
+		if err := writeHeader(bw, resp.Trailer); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString("\r\n"); err != nil {
+			return err
+		}
+	case !noBody && resp.Status != 304 && len(resp.Body) > 0:
+		if _, err := bw.Write(resp.Body); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,103 @@
+package proxy
+
+import "sync"
+
+// FreshnessEstimator implements the adaptive freshness interval of §4:
+// "Since the piggyback includes the Last-Modified time of each resource,
+// the proxy can estimate and record how often the resource changes... the
+// proxy can use the rate-of-change information to... select an appropriate
+// freshness interval (Δ) for that resource."
+//
+// For each resource it tracks an exponentially weighted mean of the
+// observed intervals between Last-Modified changes and derives Δ as a
+// configurable fraction of that interval, clamped to [Min, Max].
+type FreshnessEstimator struct {
+	// Default is Δ for resources with no change observations yet.
+	Default int64
+	// Min and Max clamp the adaptive interval.
+	Min, Max int64
+	// Fraction of the mean change interval used as Δ; zero means 0.5 —
+	// validate roughly twice per expected change.
+	Fraction float64
+
+	mu  sync.Mutex
+	obs map[string]*freshObs
+}
+
+type freshObs struct {
+	lastLM  int64
+	ewma    float64
+	changes int
+}
+
+// NewFreshnessEstimator returns an estimator with the given default Δ and
+// clamp range (seconds).
+func NewFreshnessEstimator(def, min, max int64) *FreshnessEstimator {
+	return &FreshnessEstimator{Default: def, Min: min, Max: max, obs: make(map[string]*freshObs)}
+}
+
+// Observe records a Last-Modified value seen for url (from a response or a
+// piggyback element).
+func (f *FreshnessEstimator) Observe(url string, lastModified int64) {
+	if lastModified <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	o, ok := f.obs[url]
+	if !ok {
+		f.obs[url] = &freshObs{lastLM: lastModified}
+		return
+	}
+	if lastModified <= o.lastLM {
+		return // same or older version: no new information
+	}
+	interval := float64(lastModified - o.lastLM)
+	o.lastLM = lastModified
+	o.changes++
+	if o.changes == 1 {
+		o.ewma = interval
+	} else {
+		const alpha = 0.3
+		o.ewma = alpha*interval + (1-alpha)*o.ewma
+	}
+}
+
+// Delta returns the freshness interval to assign url's cached copy.
+func (f *FreshnessEstimator) Delta(url string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	o, ok := f.obs[url]
+	if !ok || o.changes == 0 {
+		return f.Default
+	}
+	frac := f.Fraction
+	if frac <= 0 {
+		frac = 0.5
+	}
+	d := int64(o.ewma * frac)
+	if f.Min > 0 && d < f.Min {
+		d = f.Min
+	}
+	if f.Max > 0 && d > f.Max {
+		d = f.Max
+	}
+	return d
+}
+
+// ChangeCount returns how many modifications have been observed for url.
+func (f *FreshnessEstimator) ChangeCount(url string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if o, ok := f.obs[url]; ok {
+		return o.changes
+	}
+	return 0
+}
+
+// Tracked returns the number of resources with observations.
+func (f *FreshnessEstimator) Tracked() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.obs)
+}

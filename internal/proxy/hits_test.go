@@ -1,0 +1,62 @@
+package proxy
+
+import (
+	"testing"
+
+	"piggyback/internal/core"
+)
+
+func TestProxyReportsCacheHits(t *testing.T) {
+	tb := newTestbed(t, Config{Delta: 600, ReportHits: true})
+	tb.get(t, "www.site.com/a/x.html") // miss
+	tb.now += 5
+	tb.get(t, "www.site.com/a/x.html") // fresh hit -> pending report
+	tb.get(t, "www.site.com/a/x.html") // another fresh hit
+	tb.now += 5
+	tb.get(t, "www.site.com/a/y.gif") // miss: carries the report upstream
+
+	ps := tb.proxy.Stats()
+	if ps.HitsReported != 2 {
+		t.Errorf("HitsReported = %d, want 2", ps.HitsReported)
+	}
+	os := tb.origin.Stats()
+	if os.HitReports != 2 {
+		t.Errorf("origin HitReports = %d, want 2", os.HitReports)
+	}
+	// The server's volume saw 2 extra accesses for /a/x.html: with a
+	// MinAccess filter of 3 it now passes (1 direct + 2 reported).
+	m, ok := tb.origin.Volumes().Piggyback("/a/y.gif", tb.now, mustFilter(t, "minaccess=3"))
+	if !ok {
+		t.Fatal("no piggyback")
+	}
+	found := false
+	for _, e := range m.Elements {
+		if e.URL == "/a/x.html" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reported hits did not raise popularity: %+v", m.Elements)
+	}
+}
+
+func TestProxyHitReportingOffByDefault(t *testing.T) {
+	tb := newTestbed(t, Config{Delta: 600})
+	tb.get(t, "www.site.com/a/x.html")
+	tb.now += 5
+	tb.get(t, "www.site.com/a/x.html") // fresh hit
+	tb.now += 5
+	tb.get(t, "www.site.com/a/y.gif")
+	if tb.proxy.Stats().HitsReported != 0 || tb.origin.Stats().HitReports != 0 {
+		t.Error("hit reporting active without ReportHits")
+	}
+}
+
+func mustFilter(t *testing.T, s string) core.Filter {
+	t.Helper()
+	f, err := core.ParseFilter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,484 @@
+// Package proxy implements the caching Web proxy of §2.1 and the §4
+// applications: cache lookup with a freshness interval Δ, If-Modified-Since
+// validation, piggyback filters on upstream requests (with per-server RPV
+// lists), and processing of P-Volume trailers — freshening and invalidating
+// cached entries, guiding replacement, feeding the prefetch queue, and
+// adapting per-resource freshness intervals.
+package proxy
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"piggyback/internal/cache"
+	"piggyback/internal/core"
+	"piggyback/internal/delta"
+	"piggyback/internal/httpwire"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// CacheBytes is the cache capacity; zero means 64 MiB.
+	CacheBytes int64
+	// Policy is the replacement policy; nil means PiggybackLRU.
+	Policy cache.Policy
+	// Delta is the default freshness interval in seconds (§2.1); zero
+	// means 3600.
+	Delta int64
+	// BaseFilter is attached to upstream requests (the per-server RPV
+	// list is added per request).
+	BaseFilter core.Filter
+	// RPVTimeout and RPVMaxLen configure the per-server RPV lists
+	// (§2.2); timeout zero means Delta (its upper bound).
+	RPVTimeout int64
+	RPVMaxLen  int
+	// Resolve maps a host name to a dialable address. Required: the
+	// testbed has no DNS.
+	Resolve func(host string) (string, error)
+	// Clock returns the current Unix time. Required.
+	Clock func() int64
+	// Prefetch enables speculative fetching of piggybacked resources
+	// not in the cache (§4), via the informed (smallest-first) queue.
+	Prefetch bool
+	// AdaptiveFreshness enables per-resource Δ from observed
+	// modification rates (§4); off, every entry gets the default Δ.
+	AdaptiveFreshness bool
+	// ReportHits piggybacks the URLs served from cache since the last
+	// upstream request onto the next request to that server (Piggy-Hits
+	// header, §5 future work), so the server's volumes keep seeing the
+	// popularity of resources the proxy absorbs.
+	ReportHits bool
+	// DeltaEncoding requests block-level deltas (A-IM: blockdiff) when
+	// validating stale entries, reconstructing the new version from the
+	// cached body plus the server's patch (§4, ref [23]).
+	DeltaEncoding bool
+	// MinDelta/MaxDelta clamp adaptive Δ; zero means Delta/10 and
+	// Delta*24.
+	MinDelta, MaxDelta int64
+}
+
+// Stats counts proxy-side protocol activity.
+type Stats struct {
+	ClientRequests int
+	// FreshHits were served entirely from the cache.
+	FreshHits int
+	// Validations are conditional GETs sent upstream for stale entries.
+	Validations int
+	// NotModified counts 304s received for those validations.
+	NotModified int
+	// MissFetches are full fetches for resources not in the cache.
+	MissFetches int
+	// PiggybacksReceived counts P-Volume trailers processed.
+	PiggybacksReceived int
+	PiggybackElements  int
+	// Refreshes are cached entries freshened by a piggyback element;
+	// Invalidations are cached entries found stale by one (§4 cache
+	// coherency).
+	Refreshes     int
+	Invalidations int
+	// Prefetches counts speculative fetches issued; UsefulPrefetches
+	// those later hit by a client request.
+	Prefetches       int
+	UsefulPrefetches int
+	// HitsReported counts cache-hit URLs piggybacked upstream (§5).
+	HitsReported int
+	// DeltaUpdates counts 226 delta responses applied; DeltaBytesSaved
+	// the body bytes they avoided transferring (§4, ref [23]).
+	DeltaUpdates    int
+	DeltaBytesSaved int64
+	// UpstreamErrors counts failed origin exchanges.
+	UpstreamErrors int
+}
+
+// Proxy is a caching piggybacking proxy, served over httpwire.
+type Proxy struct {
+	cfg    Config
+	client *httpwire.Client
+	rpv    *core.RPVTable
+	fresh  *FreshnessEstimator
+	queue  *InformedQueue
+
+	mu          sync.Mutex
+	cache       *cache.Cache
+	stats       Stats
+	pendingHits map[string][]string // host -> cache-hit paths to report
+}
+
+// New returns a Proxy for cfg.
+func New(cfg Config) *Proxy {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = cache.PiggybackLRU{}
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 3600
+	}
+	if cfg.RPVTimeout <= 0 || cfg.RPVTimeout > cfg.Delta {
+		// §2.2: the RPV timeout must not exceed the freshness
+		// interval Δ.
+		cfg.RPVTimeout = cfg.Delta
+	}
+	if cfg.MinDelta <= 0 {
+		cfg.MinDelta = cfg.Delta / 10
+	}
+	if cfg.MaxDelta <= 0 {
+		cfg.MaxDelta = cfg.Delta * 24
+	}
+	p := &Proxy{
+		cfg:         cfg,
+		client:      httpwire.NewClient(),
+		rpv:         core.NewRPVTable(cfg.RPVTimeout, cfg.RPVMaxLen),
+		cache:       cache.New(cfg.CacheBytes, cfg.Policy),
+		queue:       NewInformedQueue(),
+		pendingHits: make(map[string][]string),
+	}
+	if cfg.AdaptiveFreshness {
+		p.fresh = NewFreshnessEstimator(cfg.Delta, cfg.MinDelta, cfg.MaxDelta)
+	}
+	return p
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// CacheHitRate returns the cache's hit rate.
+func (p *Proxy) CacheHitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cache.HitRate()
+}
+
+// Queue exposes the informed fetch queue (for draining in tests and the
+// prefetch loop).
+func (p *Proxy) Queue() *InformedQueue { return p.queue }
+
+// Freshness exposes the adaptive freshness estimator (nil when disabled).
+func (p *Proxy) Freshness() *FreshnessEstimator { return p.fresh }
+
+// Close releases upstream connections.
+func (p *Proxy) Close() { p.client.Close() }
+
+// splitTarget extracts (host, path) from a proxy request: absolute-URI
+// form "http://host/path", or Host header + origin-form path.
+func splitTarget(req *httpwire.Request) (host, path string, err error) {
+	t := req.Path
+	if strings.HasPrefix(t, "http://") {
+		rest := strings.TrimPrefix(t, "http://")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return rest[:i], rest[i:], nil
+		}
+		return rest, "/", nil
+	}
+	host = req.Header.Get("Host")
+	if host == "" {
+		return "", "", fmt.Errorf("proxy: request has neither absolute URI nor Host header")
+	}
+	if !strings.HasPrefix(t, "/") {
+		t = "/" + t
+	}
+	return host, t, nil
+}
+
+// ServeWire implements httpwire.Handler.
+func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
+	now := p.cfg.Clock()
+	host, path, err := splitTarget(req)
+	if err != nil || req.Method != "GET" {
+		if err == nil && req.Method != "GET" {
+			return httpwire.NewResponse(501)
+		}
+		return httpwire.NewResponse(400)
+	}
+	key := host + path
+
+	p.mu.Lock()
+	p.stats.ClientRequests++
+	entry, hit := p.cache.Get(key, now)
+	if hit && entry.Fresh(now) {
+		resp := p.serveEntry(entry)
+		if entry.Prefetched {
+			entry.Prefetched = false
+			p.stats.UsefulPrefetches++
+		}
+		p.stats.FreshHits++
+		if p.cfg.ReportHits {
+			hits := p.pendingHits[host]
+			if len(hits) < 32 {
+				p.pendingHits[host] = append(hits, path)
+			}
+		}
+		p.mu.Unlock()
+		resp.Header.Set("X-Cache", "HIT")
+		return resp
+	}
+	var cachedLM int64
+	if hit {
+		cachedLM = entry.LastModified
+		if entry.Prefetched {
+			entry.Prefetched = false
+			p.stats.UsefulPrefetches++
+		}
+	}
+	filter := p.cfg.BaseFilter
+	filter.RPV = p.rpv.Snapshot(host, now)
+	var reportHits []string
+	if p.cfg.ReportHits {
+		reportHits = p.pendingHits[host]
+		delete(p.pendingHits, host)
+		p.stats.HitsReported += len(reportHits)
+	}
+	p.mu.Unlock()
+
+	// Upstream exchange: conditional when a stale copy exists (§2.1).
+	oreq := httpwire.NewRequest("GET", path)
+	oreq.Header.Set("Host", host)
+	var cachedBody []byte
+	if hit {
+		oreq.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(cachedLM))
+		if p.cfg.DeltaEncoding {
+			oreq.Header.Set("A-IM", "blockdiff")
+			cachedBody = entry.Body
+		}
+	}
+	httpwire.SetFilter(oreq, filter)
+	httpwire.SetHits(oreq, reportHits)
+
+	addr, err := p.cfg.Resolve(host)
+	if err != nil {
+		p.countUpstreamError()
+		return httpwire.NewResponse(502)
+	}
+	resp, err := p.client.Do(addr, oreq)
+	if err != nil {
+		p.countUpstreamError()
+		return httpwire.NewResponse(502)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	var out *httpwire.Response
+	switch {
+	case resp.Status == 226 && hit:
+		// Delta response: reconstruct the new version from the cached
+		// body and the patch (§4, ref [23]).
+		newBody, lm, err := applyDelta(cachedBody, resp)
+		if err != nil {
+			// A malformed delta falls back to a plain refetch next
+			// time; serve the stale copy rather than failing the
+			// client.
+			p.stats.UpstreamErrors++
+			out = p.serveEntry(entry)
+			break
+		}
+		p.stats.Validations++
+		p.stats.DeltaUpdates++
+		p.stats.DeltaBytesSaved += int64(len(newBody) - len(resp.Body))
+		e := cache.Entry{
+			URL:          key,
+			Size:         int64(len(newBody)),
+			LastModified: lm,
+			Expires:      now + p.delta(key),
+			FetchedAt:    now,
+			Body:         newBody,
+		}
+		if p.fresh != nil {
+			p.fresh.Observe(key, lm)
+		}
+		p.cache.Put(e, now)
+		out = httpwire.NewResponse(200)
+		out.Body = newBody
+		if lm > 0 {
+			out.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lm))
+		}
+	case resp.Status == 304 && hit:
+		p.stats.Validations++
+		p.stats.NotModified++
+		p.cache.Freshen(key, now+p.delta(key))
+		out = p.serveEntry(entry)
+	case resp.Status == 200:
+		if hit {
+			p.stats.Validations++
+		} else {
+			p.stats.MissFetches++
+		}
+		lm, _ := resp.LastModified()
+		e := cache.Entry{
+			URL:          key,
+			Size:         int64(len(resp.Body)),
+			LastModified: lm,
+			Expires:      now + p.delta(key),
+			FetchedAt:    now,
+			Body:         resp.Body,
+		}
+		if p.fresh != nil {
+			p.fresh.Observe(key, lm)
+		}
+		p.cache.Put(e, now)
+		out = httpwire.NewResponse(200)
+		out.Body = resp.Body
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			out.Header.Set("Content-Type", ct)
+		}
+		if lm > 0 {
+			out.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lm))
+		}
+	default:
+		// Pass other statuses through without caching.
+		out = httpwire.NewResponse(resp.Status)
+		out.Body = resp.Body
+	}
+	out.Header.Set("X-Cache", "MISS")
+
+	if m, ok := httpwire.ExtractPiggyback(resp); ok {
+		p.processPiggyback(host, m, now)
+	}
+	return out
+}
+
+// applyDelta reconstructs the new body from a 226 response.
+func applyDelta(cachedBody []byte, resp *httpwire.Response) (body []byte, lastModified int64, err error) {
+	if !strings.EqualFold(strings.TrimSpace(resp.Header.Get("IM")), "blockdiff") {
+		return nil, 0, fmt.Errorf("proxy: 226 without IM: blockdiff")
+	}
+	patch, err := delta.Decode(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err = delta.Apply(cachedBody, patch)
+	if err != nil {
+		return nil, 0, err
+	}
+	lm, _ := resp.LastModified()
+	return body, lm, nil
+}
+
+// serveEntry builds a 200 response from a cached entry. Caller holds p.mu.
+func (p *Proxy) serveEntry(e *cache.Entry) *httpwire.Response {
+	resp := httpwire.NewResponse(200)
+	resp.Body = e.Body
+	if e.LastModified > 0 {
+		resp.Header.Set("Last-Modified", httpwire.FormatHTTPDate(e.LastModified))
+	}
+	return resp
+}
+
+func (p *Proxy) countUpstreamError() {
+	p.mu.Lock()
+	p.stats.UpstreamErrors++
+	p.mu.Unlock()
+}
+
+// delta returns the freshness interval for key.
+func (p *Proxy) delta(key string) int64 {
+	if p.fresh != nil {
+		return p.fresh.Delta(key)
+	}
+	return p.cfg.Delta
+}
+
+// processPiggyback applies a P-Volume message (§2.1): note the volume in
+// the server's RPV list, freshen or invalidate cached copies, pin predicted
+// entries for replacement, queue prefetches, and feed the freshness
+// estimator. Caller holds p.mu.
+func (p *Proxy) processPiggyback(host string, m core.Message, now int64) {
+	p.stats.PiggybacksReceived++
+	p.stats.PiggybackElements += len(m.Elements)
+	p.rpv.Note(host, m.Volume, now)
+	for _, el := range m.Elements {
+		// A transparent volume center may piggyback host-qualified
+		// elements covering multiple sites; plain servers send
+		// server-relative paths.
+		key := host + el.URL
+		elHost, elPath := host, el.URL
+		if !strings.HasPrefix(el.URL, "/") {
+			key = el.URL
+			if i := strings.IndexByte(el.URL, '/'); i >= 0 {
+				elHost, elPath = el.URL[:i], el.URL[i:]
+			} else {
+				elHost, elPath = el.URL, "/"
+			}
+		}
+		if p.fresh != nil {
+			p.fresh.Observe(key, el.LastModified)
+		}
+		if e, ok := p.cache.Peek(key); ok {
+			if el.LastModified > e.LastModified {
+				// Stale copy: delete; a fresh copy could be
+				// prefetched (§2.1).
+				p.cache.Delete(key)
+				p.stats.Invalidations++
+				if p.cfg.Prefetch {
+					p.queue.Push(FetchItem{Host: elHost, URL: elPath, Size: el.Size, LastModified: el.LastModified})
+				}
+			} else {
+				p.cache.Freshen(key, now+p.delta(key))
+				p.cache.Hint(key, now+p.cfg.RPVTimeout, now)
+				p.stats.Refreshes++
+			}
+			continue
+		}
+		if p.cfg.Prefetch {
+			p.queue.Push(FetchItem{Host: elHost, URL: elPath, Size: el.Size, LastModified: el.LastModified})
+		}
+	}
+}
+
+// DrainPrefetches synchronously services up to max queued prefetches
+// (smallest first), returning how many were fetched. Prefetch requests
+// disable piggybacking to avoid speculative cascades.
+func (p *Proxy) DrainPrefetches(max int) int {
+	fetched := 0
+	for fetched < max {
+		it, ok := p.queue.Pop()
+		if !ok {
+			return fetched
+		}
+		now := p.cfg.Clock()
+		key := it.Key()
+		p.mu.Lock()
+		_, cached := p.cache.Peek(key)
+		p.mu.Unlock()
+		if cached {
+			continue
+		}
+		addr, err := p.cfg.Resolve(it.Host)
+		if err != nil {
+			p.countUpstreamError()
+			continue
+		}
+		oreq := httpwire.NewRequest("GET", it.URL)
+		oreq.Header.Set("Host", it.Host)
+		httpwire.SetFilter(oreq, core.Filter{Disabled: true})
+		resp, err := p.client.Do(addr, oreq)
+		if err != nil {
+			p.countUpstreamError()
+			continue
+		}
+		if resp.Status != 200 {
+			continue
+		}
+		lm, _ := resp.LastModified()
+		p.mu.Lock()
+		p.stats.Prefetches++
+		p.cache.Put(cache.Entry{
+			URL:          key,
+			Size:         int64(len(resp.Body)),
+			LastModified: lm,
+			Expires:      now + p.delta(key),
+			FetchedAt:    now,
+			Body:         resp.Body,
+			Prefetched:   true,
+		}, now)
+		p.mu.Unlock()
+		fetched++
+	}
+	return fetched
+}

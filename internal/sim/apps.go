@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"piggyback/internal/cache"
+	"piggyback/internal/core"
+	"piggyback/internal/trace"
+)
+
+// CoherencyReport summarizes the §4 cache-coherency arithmetic from a
+// Result: of the requests that plausibly hit the cache (a previous
+// occurrence within C), how many were within T anyway (already fresh under
+// any reasonable Δ) and how many more a piggyback refreshed a priori —
+// "our best volumes enabled a priori refreshment for an additional 22-46%
+// of requests made to cached resources".
+type CoherencyReport struct {
+	// CachedShare is the fraction of all requests with a previous
+	// occurrence within C (plausible cache hits).
+	CachedShare float64
+	// QuickRepeatShare, of cached requests: previous occurrence within
+	// T (the cache plausibly holds a fresh copy regardless).
+	QuickRepeatShare float64
+	// APrioriRefreshShare, of cached requests: refreshed by a piggyback
+	// (predicted within T, previous occurrence in (T, C]).
+	APrioriRefreshShare float64
+	// AvgPiggybackSize is the cost paid for the refreshes.
+	AvgPiggybackSize float64
+}
+
+// Coherency derives the report from a Result.
+func Coherency(r Result) CoherencyReport {
+	rep := CoherencyReport{
+		CachedShare:      r.FracPrevWithinC(),
+		AvgPiggybackSize: r.AvgPiggybackSize(),
+	}
+	if r.PrevWithinC > 0 {
+		rep.QuickRepeatShare = float64(r.PrevWithinT) / float64(r.PrevWithinC)
+		rep.APrioriRefreshShare = float64(r.UpdatedTC) / float64(r.PrevWithinC)
+	}
+	return rep
+}
+
+// PrefetchPoint is one point of the §4 prefetching tradeoff: prefetching
+// every prediction at some volume configuration yields this recall at this
+// futile-fetch cost.
+type PrefetchPoint struct {
+	// Threshold is the probability threshold that produced the point.
+	Threshold float64
+	// Recall is the fraction of accesses that would be prefetched in
+	// time (fraction predicted).
+	Recall float64
+	// FutileFraction is the share of prefetched resources never used.
+	FutileFraction float64
+	// BandwidthIncrease is wasted prefetch bytes over demand bytes.
+	BandwidthIncrease float64
+	// AvgPiggybackSize is the piggyback cost at this configuration.
+	AvgPiggybackSize float64
+}
+
+// PrefetchTradeoff sweeps probability thresholds over one built volume set,
+// producing the §4 prefetching tradeoff curve (e.g. "40% of accesses can be
+// prefetched with 20% futile fetches").
+func PrefetchTradeoff(log trace.Log, vols *core.ProbVolumes, thresholds []float64) []PrefetchPoint {
+	out := make([]PrefetchPoint, 0, len(thresholds))
+	for _, pt := range thresholds {
+		r := New(Config{Provider: vols.WithPt(pt), T: vols.T}).Run(log)
+		out = append(out, PrefetchPoint{
+			Threshold:         pt,
+			Recall:            r.FractionPredicted(),
+			FutileFraction:    r.FutileFetchFraction(),
+			BandwidthIncrease: r.PrefetchBandwidthIncrease(),
+			AvgPiggybackSize:  r.AvgPiggybackSize(),
+		})
+	}
+	return out
+}
+
+// ReplacementResult reports a cache-replacement replay.
+type ReplacementResult struct {
+	Policy      string
+	Requests    int
+	HitRate     float64
+	ByteHitRate float64
+	Evictions   int
+	PinnedSaves int // hits on entries that were pinned by a piggyback
+}
+
+// ReplayReplacement replays the log through a cache of the given byte
+// capacity and policy. When provider is non-nil, each request's piggyback
+// message pins predicted entries (§4 cache replacement: "the proxy could
+// continue to cache items that have appeared in recent piggyback
+// messages"); pass nil to measure the policy alone.
+func ReplayReplacement(log trace.Log, capacity int64, policy cache.Policy, provider core.Provider, T int64) ReplacementResult {
+	if T <= 0 {
+		T = 300
+	}
+	c := cache.New(capacity, policy)
+	res := ReplacementResult{Policy: policy.Name()}
+	var hitBytes, totalBytes int64
+	sizes := make(map[string]int64)
+
+	for i := range log {
+		rec := &log[i]
+		now := rec.Time
+		size := rec.Size
+		if size <= 0 {
+			size = sizes[rec.URL] // 304s: charge the known size
+		} else {
+			sizes[rec.URL] = size
+		}
+		res.Requests++
+		totalBytes += size
+		if e, ok := c.Get(rec.URL, now); ok {
+			hitBytes += size
+			if e.PinnedUntil() >= now {
+				res.PinnedSaves++
+			}
+		} else if size > 0 {
+			c.Put(cache.Entry{URL: rec.URL, Size: size, LastModified: rec.LastModified, Expires: now + T}, now)
+		}
+		if provider != nil {
+			if m, ok := provider.Piggyback(rec.URL, now, core.Filter{}); ok {
+				for _, el := range m.Elements {
+					c.Hint(el.URL, now+T, now)
+				}
+			}
+			provider.Observe(core.Access{Source: rec.Client, Time: now,
+				Element: core.Element{URL: rec.URL, Size: size, LastModified: rec.LastModified}})
+		}
+	}
+	res.HitRate = c.HitRate()
+	if totalBytes > 0 {
+		res.ByteHitRate = float64(hitBytes) / float64(totalBytes)
+	}
+	res.Evictions = c.Evictions
+	return res
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"strconv"
+	"testing"
+
+	"piggyback/internal/cache"
+	"piggyback/internal/core"
+	"piggyback/internal/trace"
+)
+
+func TestCoherencyReport(t *testing.T) {
+	r := Result{
+		Requests:    100,
+		PrevWithinC: 40,
+		PrevWithinT: 18,
+		UpdatedTC:   10,
+
+		PiggybackMessages: 50,
+		PiggybackElements: 150,
+	}
+	rep := Coherency(r)
+	if rep.CachedShare != 0.4 {
+		t.Errorf("CachedShare = %v", rep.CachedShare)
+	}
+	if rep.QuickRepeatShare != 0.45 {
+		t.Errorf("QuickRepeatShare = %v", rep.QuickRepeatShare)
+	}
+	if rep.APrioriRefreshShare != 0.25 {
+		t.Errorf("APrioriRefreshShare = %v", rep.APrioriRefreshShare)
+	}
+	if rep.AvgPiggybackSize != 3 {
+		t.Errorf("AvgPiggybackSize = %v", rep.AvgPiggybackSize)
+	}
+	if empty := Coherency(Result{Requests: 10}); empty.QuickRepeatShare != 0 {
+		t.Error("empty coherency division by zero")
+	}
+}
+
+// appTrace: page followed by image every visit; visits spaced beyond T.
+func appTrace(visits int) trace.Log {
+	var l trace.Log
+	tt := int64(1000)
+	for v := 0; v < visits; v++ {
+		c := "c" + strconv.Itoa(v%4)
+		l = append(l, trace.Record{Time: tt, Client: c, URL: "/a/p.html", Size: 1000})
+		l = append(l, trace.Record{Time: tt + 3, Client: c, URL: "/a/i.gif", Size: 500})
+		if v%2 == 0 {
+			l = append(l, trace.Record{Time: tt + 60, Client: c, URL: "/a/q.html", Size: 2000})
+		}
+		tt += 1000
+	}
+	l.SortByTime()
+	return l
+}
+
+func TestPrefetchTradeoffMonotone(t *testing.T) {
+	log := appTrace(40)
+	b := core.NewProbBuilder(core.ProbConfig{T: 300, Pt: 0.05})
+	b.ObserveLog(log)
+	vols := b.Build(0)
+	points := PrefetchTradeoff(log, vols, []float64{0.1, 0.6})
+	if len(points) != 2 {
+		t.Fatal("point count")
+	}
+	lo, hi := points[0], points[1]
+	// Raising the threshold can only reduce recall, and should reduce
+	// futile fetches (q.html at p=0.5 is dropped at pt=0.6).
+	if hi.Recall > lo.Recall {
+		t.Errorf("recall rose with threshold: %v -> %v", lo.Recall, hi.Recall)
+	}
+	if hi.FutileFraction > lo.FutileFraction {
+		t.Errorf("futile fraction rose with threshold: %v -> %v", lo.FutileFraction, hi.FutileFraction)
+	}
+	if lo.BandwidthIncrease <= 0 {
+		t.Errorf("expected bandwidth overhead at low threshold: %+v", lo)
+	}
+}
+
+func TestReplayReplacementLRUBaseline(t *testing.T) {
+	log := appTrace(50)
+	r := ReplayReplacement(log, 1<<20, cache.LRU{}, nil, 300)
+	if r.Requests != len(log) {
+		t.Fatalf("requests = %d", r.Requests)
+	}
+	// Everything fits: all repeats hit.
+	if r.HitRate <= 0.5 {
+		t.Errorf("hit rate = %v", r.HitRate)
+	}
+	if r.Policy != "lru" {
+		t.Errorf("policy = %q", r.Policy)
+	}
+}
+
+func TestReplayReplacementPiggybackPins(t *testing.T) {
+	log := appTrace(60)
+	build := func() core.Provider {
+		d := core.NewDirVolumes(core.DirConfig{Level: 1, MTF: true})
+		return d
+	}
+	// Tight cache forces evictions; with piggyback pinning, predicted
+	// entries survive and PinnedSaves appear.
+	withPig := ReplayReplacement(log, 2600, cache.PiggybackLRU{}, build(), 300)
+	if withPig.PinnedSaves == 0 {
+		t.Errorf("no pinned saves: %+v", withPig)
+	}
+	plain := ReplayReplacement(log, 2600, cache.LRU{}, nil, 300)
+	if plain.PinnedSaves != 0 {
+		t.Error("plain LRU reported pinned saves")
+	}
+}
+
+func TestReplayReplacement304ChargesKnownSize(t *testing.T) {
+	log := trace.Log{
+		{Time: 1, Client: "c", URL: "/x", Size: 1000, Status: 200},
+		{Time: 2, Client: "c", URL: "/x", Size: 0, Status: 304},
+	}
+	r := ReplayReplacement(log, 1<<20, cache.LRU{}, nil, 300)
+	if r.ByteHitRate != 0.5 {
+		t.Errorf("ByteHitRate = %v, want 0.5 (304 charged at known size)", r.ByteHitRate)
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"piggyback/internal/metrics"
+	"piggyback/internal/trace"
+)
+
+// LocalityStats summarizes request spacing within directory-based volumes
+// at one prefix level — the data behind Fig 1.
+type LocalityStats struct {
+	// Level is the directory-prefix depth.
+	Level int
+	// Requests is the number of requests analyzed.
+	Requests int
+	// SeenBefore is the fraction of requests whose level-k prefix
+	// occurred earlier in the trace (by any client — Fig 1(a) "% Seen
+	// Before").
+	SeenBefore float64
+	// MedianInterarrival is the median seconds between successive
+	// accesses to the same prefix (Fig 1(a)).
+	MedianInterarrival float64
+	// MeanInterarrival is the mean of the same distribution.
+	MeanInterarrival float64
+	// Interarrivals is the empirical CDF of interarrival times,
+	// Fig 1(b).
+	Interarrivals *metrics.CDF
+}
+
+// AnalyzeLocality computes directory-prefix locality for each level. When
+// includeEmbedded is false, records marked Embedded are dropped first —
+// the paper's check that locality is not an artifact of inline images.
+// At level k >= 1, only requests whose path is at least k directories deep
+// participate: a shallow resource has no level-k prefix of its own, and
+// counting its directory again at every deeper level would flatten the
+// level gradient of Fig 1(a). The log must be sorted by time.
+func AnalyzeLocality(log trace.Log, levels []int, includeEmbedded bool) []LocalityStats {
+	out := make([]LocalityStats, 0, len(levels))
+	for _, level := range levels {
+		lastSeen := make(map[string]int64)
+		seen := 0
+		var inter []float64
+		n := 0
+		for i := range log {
+			rec := &log[i]
+			if !includeEmbedded && rec.Embedded {
+				continue
+			}
+			if level >= 1 && trace.PathDepth(rec.URL) < level {
+				continue
+			}
+			n++
+			p := trace.DirPrefix(rec.URL, level)
+			if prev, ok := lastSeen[p]; ok {
+				seen++
+				inter = append(inter, float64(rec.Time-prev))
+			}
+			lastSeen[p] = rec.Time
+		}
+		st := LocalityStats{Level: level, Requests: n}
+		if n > 0 {
+			st.SeenBefore = float64(seen) / float64(n)
+		}
+		if len(inter) > 0 {
+			st.MedianInterarrival = metrics.Median(inter)
+			st.MeanInterarrival = metrics.Mean(inter)
+			st.Interarrivals = metrics.NewCDF(inter)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// PredictableWithin returns the fraction of same-prefix interarrivals at or
+// below the given number of seconds — e.g. the paper's "over 55% of
+// accesses occur less than fifty seconds after another request in the same
+// 2-level volume".
+func (s LocalityStats) PredictableWithin(seconds float64) float64 {
+	if s.Interarrivals == nil {
+		return 0
+	}
+	return s.Interarrivals.P(seconds)
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Common Log Format support. The 1998 server logs the paper analyzes
+// (AIUSA, Apache, Marimba, Sun) are httpd access logs in CLF:
+//
+//	host ident authuser [day/month/year:hour:minute:second zone] "METHOD url PROTO" status bytes
+//
+// ParseCLF and the Writer round-trip this format so real logs can be fed to
+// the harness in place of the synthetic ones.
+
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+// ErrBadLine reports an unparsable log line.
+var ErrBadLine = errors.New("trace: malformed common log format line")
+
+// ParseCLF parses one Common Log Format line into a Record.
+// A "-" bytes field parses as size 0.
+func ParseCLF(line string) (Record, error) {
+	var r Record
+
+	// host ident authuser
+	rest := strings.TrimSpace(line)
+	host, rest, ok := cutField(rest)
+	if !ok {
+		return r, fmt.Errorf("%w: missing host: %q", ErrBadLine, line)
+	}
+	if _, rest, ok = cutField(rest); !ok { // ident
+		return r, fmt.Errorf("%w: missing ident: %q", ErrBadLine, line)
+	}
+	if _, rest, ok = cutField(rest); !ok { // authuser
+		return r, fmt.Errorf("%w: missing authuser: %q", ErrBadLine, line)
+	}
+
+	// [timestamp]
+	if len(rest) == 0 || rest[0] != '[' {
+		return r, fmt.Errorf("%w: missing timestamp: %q", ErrBadLine, line)
+	}
+	end := strings.IndexByte(rest, ']')
+	if end < 0 {
+		return r, fmt.Errorf("%w: unterminated timestamp: %q", ErrBadLine, line)
+	}
+	ts, err := time.Parse(clfTimeLayout, rest[1:end])
+	if err != nil {
+		return r, fmt.Errorf("%w: bad timestamp: %v", ErrBadLine, err)
+	}
+	rest = strings.TrimSpace(rest[end+1:])
+
+	// "METHOD url PROTO"
+	if len(rest) == 0 || rest[0] != '"' {
+		return r, fmt.Errorf("%w: missing request: %q", ErrBadLine, line)
+	}
+	end = strings.IndexByte(rest[1:], '"')
+	if end < 0 {
+		return r, fmt.Errorf("%w: unterminated request: %q", ErrBadLine, line)
+	}
+	req := rest[1 : 1+end]
+	rest = strings.TrimSpace(rest[end+2:])
+	parts := strings.Fields(req)
+	if len(parts) < 2 {
+		return r, fmt.Errorf("%w: short request line %q", ErrBadLine, req)
+	}
+
+	// status bytes
+	statusStr, rest, ok := cutField(rest)
+	if !ok {
+		return r, fmt.Errorf("%w: missing status: %q", ErrBadLine, line)
+	}
+	status, err := strconv.Atoi(statusStr)
+	if err != nil {
+		return r, fmt.Errorf("%w: bad status %q", ErrBadLine, statusStr)
+	}
+	sizeStr, _, _ := cutField(rest)
+	var size int64
+	if sizeStr != "" && sizeStr != "-" {
+		size, err = strconv.ParseInt(sizeStr, 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("%w: bad size %q", ErrBadLine, sizeStr)
+		}
+	}
+
+	r = Record{
+		Time:   ts.Unix(),
+		Client: host,
+		Method: parts[0],
+		URL:    parts[1],
+		Status: status,
+		Size:   size,
+	}
+	return r, nil
+}
+
+// cutField splits the first whitespace-delimited field off s.
+func cutField(s string) (field, rest string, ok bool) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return "", "", false
+	}
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, "", true
+	}
+	return s[:i], strings.TrimLeft(s[i:], " \t"), true
+}
+
+// FormatCLF renders the record as a Common Log Format line.
+func FormatCLF(r Record) string {
+	method := r.Method
+	if method == "" {
+		method = "GET"
+	}
+	size := "-"
+	if r.Size > 0 {
+		size = strconv.FormatInt(r.Size, 10)
+	}
+	ts := time.Unix(r.Time, 0).UTC().Format(clfTimeLayout)
+	return fmt.Sprintf("%s - - [%s] \"%s %s HTTP/1.0\" %d %s", r.Client, ts, method, r.URL, r.Status, size)
+}
+
+// Reader streams Records from a Common Log Format log.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader over r. Lines up to 1MB are supported.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{s: s}
+}
+
+// Read returns the next record, or io.EOF at end of input. Blank lines are
+// skipped; malformed lines return an error identifying the line number.
+// Both Common Log Format and Squid native lines are accepted (formats may
+// even be mixed; each line is parsed independently).
+func (rd *Reader) Read() (Record, error) {
+	for rd.s.Scan() {
+		rd.line++
+		line := strings.TrimSpace(rd.s.Text())
+		if line == "" {
+			continue
+		}
+		rec, err := ParseAny(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", rd.line, err)
+		}
+		return rec, nil
+	}
+	if err := rd.s.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll consumes the remaining records into a Log.
+func (rd *Reader) ReadAll() (Log, error) {
+	var l Log
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return l, nil
+		}
+		if err != nil {
+			return l, err
+		}
+		l = append(l, rec)
+	}
+}
+
+// Writer streams Records as Common Log Format lines.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one record.
+func (wr *Writer) Write(r Record) error {
+	if _, err := wr.w.WriteString(FormatCLF(r)); err != nil {
+		return err
+	}
+	return wr.w.WriteByte('\n')
+}
+
+// WriteAll appends every record in l.
+func (wr *Writer) WriteAll(l Log) error {
+	for i := range l {
+		if err := wr.Write(l[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (wr *Writer) Flush() error { return wr.w.Flush() }

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirPrefixHostQualified(t *testing.T) {
+	cases := []struct {
+		url   string
+		level int
+		want  string
+	}{
+		{"www.foo.com/a/b.html", 0, "www.foo.com"},
+		{"www.foo.com/a/b.html", 1, "www.foo.com/a"},
+		{"www.foo.com/a/d/e.html", 1, "www.foo.com/a"},
+		{"www.foo.com/a/d/e.html", 2, "www.foo.com/a/d"},
+		{"www.foo.com/f/g.html", 1, "www.foo.com/f"},
+		{"www.foo.com/top.html", 1, "www.foo.com"},
+		{"www.foo.com/top.html", 4, "www.foo.com"},
+		{"www.foo.com", 0, "www.foo.com"},
+		{"www.foo.com", 2, "www.foo.com"},
+		{"www.foo.com/a/b/c/d/e.html", 3, "www.foo.com/a/b/c"},
+	}
+	for _, c := range cases {
+		if got := DirPrefix(c.url, c.level); got != c.want {
+			t.Errorf("DirPrefix(%q, %d) = %q, want %q", c.url, c.level, got, c.want)
+		}
+	}
+}
+
+func TestDirPrefixServerRelative(t *testing.T) {
+	cases := []struct {
+		url   string
+		level int
+		want  string
+	}{
+		{"/a/b.html", 0, "/"},
+		{"/a/b.html", 1, "/a"},
+		{"/a/d/e.html", 1, "/a"},
+		{"/a/d/e.html", 2, "/a/d"},
+		{"/top.html", 1, "/"},
+		{"/top.html", 3, "/"},
+		{"/", 0, "/"},
+		{"/", 2, "/"},
+	}
+	for _, c := range cases {
+		if got := DirPrefix(c.url, c.level); got != c.want {
+			t.Errorf("DirPrefix(%q, %d) = %q, want %q", c.url, c.level, got, c.want)
+		}
+	}
+}
+
+// The paper's volume semantics require prefix monotonicity: two URLs that
+// share a level-k prefix share every level-j prefix for j < k.
+func TestDirPrefixMonotone(t *testing.T) {
+	f := func(a, b uint8, depthA, depthB uint8) bool {
+		urlA := synthURL(int(a), int(depthA)%5)
+		urlB := synthURL(int(b), int(depthB)%5)
+		for k := 4; k > 0; k-- {
+			if DirPrefix(urlA, k) == DirPrefix(urlB, k) {
+				for j := 0; j < k; j++ {
+					if DirPrefix(urlA, j) != DirPrefix(urlB, j) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func synthURL(n, depth int) string {
+	var b strings.Builder
+	b.WriteString("srv")
+	b.WriteByte(byte('0' + n%3))
+	b.WriteString(".example.com")
+	for i := 0; i <= depth; i++ {
+		b.WriteByte('/')
+		b.WriteByte(byte('a' + (n>>uint(i))%4))
+	}
+	b.WriteString("/x.html")
+	return b.String()
+}
+
+func TestPathDepth(t *testing.T) {
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/a/b/c.html", 2},
+		{"/c.html", 0},
+		{"www.foo.com/a/b.html", 1},
+		{"www.foo.com", 0},
+		{"/", 0},
+	}
+	for _, c := range cases {
+		if got := PathDepth(c.url); got != c.want {
+			t.Errorf("PathDepth(%q) = %d, want %d", c.url, got, c.want)
+		}
+	}
+}
+
+func TestContentType(t *testing.T) {
+	cases := []struct{ url, want string }{
+		{"/a/b.html", "text/html"},
+		{"/a/b.GIF", "image/gif"},
+		{"/a/b.jpg", "image/jpeg"},
+		{"/dir.with.dots/file", "text/html"}, // dot in dir name, not an extension
+		{"/plain", "text/html"},              // extensionless path treated as a page
+		{"/a/b.pdf", "application/pdf"},
+		{"/a/b.ps", "application/postscript"},
+	}
+	for _, c := range cases {
+		if got := ContentType(c.url); got != c.want {
+			t.Errorf("ContentType(%q) = %q, want %q", c.url, got, c.want)
+		}
+	}
+	if !IsImage("/x/y.png") || IsImage("/x/y.html") {
+		t.Error("IsImage misclassifies")
+	}
+}
+
+func TestUncachableAndClean(t *testing.T) {
+	l := Log{
+		{URL: "/cgi-bin/run", Time: 1},
+		{URL: "/search?q=x", Time: 2},
+		{URL: "/a/", Time: 3},
+		{URL: "/a", Time: 4},
+		{URL: "/", Time: 5},
+	}
+	cl := l.Clean()
+	if len(cl) != 3 {
+		t.Fatalf("Clean kept %d records, want 3", len(cl))
+	}
+	if cl[0].URL != "/a" || cl[1].URL != "/a" {
+		t.Errorf("Clean did not canonicalize trailing slash: %q %q", cl[0].URL, cl[1].URL)
+	}
+	if cl[2].URL != "/" {
+		t.Errorf("root path mangled: %q", cl[2].URL)
+	}
+}
+
+func TestLogStats(t *testing.T) {
+	l := Log{
+		{Time: 10, Client: "c1", URL: "a.com/x.html", Size: 100},
+		{Time: 5, Client: "c2", URL: "a.com/y.html", Size: 300},
+		{Time: 20, Client: "c1", URL: "b.com/x.html", Size: 200},
+		{Time: 15, Client: "c3", URL: "a.com/x.html", Size: 0},
+	}
+	l.SortByTime()
+	if l[0].Time != 5 || l[3].Time != 20 {
+		t.Errorf("SortByTime order wrong: %v", l)
+	}
+	if got := l.Clients(); got != 3 {
+		t.Errorf("Clients = %d, want 3", got)
+	}
+	if got := l.UniqueResources(); got != 3 {
+		t.Errorf("UniqueResources = %d, want 3", got)
+	}
+	if got := l.Servers(); got != 2 {
+		t.Errorf("Servers = %d, want 2", got)
+	}
+	if got := l.Duration(); got != 15 {
+		t.Errorf("Duration = %d, want 15", got)
+	}
+	if got := l.MeanSize(); got != 200 {
+		t.Errorf("MeanSize = %v, want 200", got)
+	}
+	if got := l.MedianSize(); got != 200 {
+		t.Errorf("MedianSize = %v, want 200", got)
+	}
+}
+
+func TestFilterPopular(t *testing.T) {
+	var l Log
+	for i := 0; i < 10; i++ {
+		l = append(l, Record{URL: "/hot.html", Time: int64(i)})
+	}
+	l = append(l, Record{URL: "/cold.html", Time: 99})
+	fl := l.FilterPopular(2)
+	if len(fl) != 10 {
+		t.Fatalf("FilterPopular kept %d, want 10", len(fl))
+	}
+	for i := range fl {
+		if fl[i].URL != "/hot.html" {
+			t.Fatalf("unexpected record %v", fl[i])
+		}
+	}
+}
+
+func TestTopResourceShare(t *testing.T) {
+	// 1 resource with 90 requests, 9 resources with ~1 request each:
+	// the top 10% of resources should carry ~91% of requests.
+	var l Log
+	for i := 0; i < 90; i++ {
+		l = append(l, Record{URL: "/hot.html"})
+	}
+	for i := 0; i < 9; i++ {
+		l = append(l, Record{URL: "/cold" + string(rune('0'+i)) + ".html"})
+	}
+	share := l.TopResourceShare(0.1)
+	if share < 0.9 || share > 0.95 {
+		t.Errorf("TopResourceShare(0.1) = %v, want ~0.91", share)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/a/", "/a"},
+		{"/a", "/a"},
+		{"/", "/"},
+		{"www.foo.com/", "www.foo.com"},
+		{"//", "/"},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.in); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDirPrefixIsPrefixProperty(t *testing.T) {
+	// The level-k prefix plus "/" is always a string prefix of the URL
+	// (or equals the URL's host for host-only URLs).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		url := synthURL(rng.Intn(1000), rng.Intn(5))
+		for k := 0; k < 6; k++ {
+			p := DirPrefix(url, k)
+			if p != url && !strings.HasPrefix(url, p+"/") {
+				t.Fatalf("DirPrefix(%q,%d)=%q is not a path prefix", url, k, p)
+			}
+		}
+	}
+}

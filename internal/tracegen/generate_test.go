@@ -1,0 +1,361 @@
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"piggyback/internal/trace"
+)
+
+func smallConfig() SiteConfig {
+	return SiteConfig{
+		Name:              "test",
+		Seed:              42,
+		Pages:             60,
+		Dirs:              6,
+		MaxDepth:          2,
+		MeanImagesPerPage: 2,
+		Clients:           20,
+		Requests:          5000,
+		Duration:          days(2),
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 0.8, 1000)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[100] || counts[100] <= counts[900] {
+		t.Errorf("Zipf not skewed: c0=%d c100=%d c900=%d", counts[0], counts[100], counts[900])
+	}
+	// Rank 0 should get roughly 1/H share where H = sum 1/i^0.8.
+	if counts[0] < n/100 {
+		t.Errorf("top rank too rare: %d", counts[0])
+	}
+}
+
+func TestZipfSupportsSBelowOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 0.5, 10)
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(); v < 0 || v >= 10 {
+			t.Fatalf("sample out of range: %d", v)
+		}
+	}
+	if NewZipf(rng, 0.7, 0).N() != 1 {
+		t.Error("n<1 should clamp to 1")
+	}
+}
+
+func TestLogNormalMedianAndMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ln := NewLogNormal(rng, 1530, 13900)
+	const n = 200000
+	samples := make([]int64, n)
+	var sum float64
+	for i := range samples {
+		samples[i] = ln.Next()
+		sum += float64(samples[i])
+	}
+	mean := sum / n
+	if mean < 9000 || mean > 20000 {
+		t.Errorf("mean = %v, want ~13900", mean)
+	}
+	// Median check: count below target median.
+	below := 0
+	for _, s := range samples {
+		if s < 1530 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("median off: %.3f of samples below 1530", frac)
+	}
+}
+
+func TestBuildSiteDeterministic(t *testing.T) {
+	a := BuildSite(smallConfig())
+	b := BuildSite(smallConfig())
+	if len(a.Resources) != len(b.Resources) || len(a.Pages) != len(b.Pages) {
+		t.Fatal("site generation not deterministic in structure")
+	}
+	for url, ra := range a.Resources {
+		rb, ok := b.Resources[url]
+		if !ok || ra.Size != rb.Size || ra.birth != rb.birth {
+			t.Fatalf("resource %s differs between builds", url)
+		}
+	}
+}
+
+func TestBuildSiteStructure(t *testing.T) {
+	s := BuildSite(smallConfig())
+	if len(s.Pages) != 60 {
+		t.Fatalf("pages = %d", len(s.Pages))
+	}
+	for _, p := range s.Pages {
+		// Images live in the page's directory.
+		pd := trace.DirPrefix(p.Res.URL, 10)
+		for _, img := range p.Images {
+			if trace.DirPrefix(img.URL, 10) != pd {
+				t.Errorf("image %s outside page dir %s", img.URL, pd)
+			}
+		}
+		for _, l := range p.Links {
+			if l < 0 || l >= len(s.Pages) {
+				t.Fatalf("link index out of range: %d", l)
+			}
+		}
+	}
+}
+
+func TestGenerateServerLogBasics(t *testing.T) {
+	log, site := GenerateServerLog(smallConfig())
+	if len(log) != 5000 {
+		t.Fatalf("len = %d, want 5000", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].Time < log[i-1].Time {
+			t.Fatal("log not sorted by time")
+		}
+	}
+	for i := range log {
+		r := &log[i]
+		if _, ok := site.Resources[r.URL]; !ok {
+			t.Fatalf("unknown resource %s", r.URL)
+		}
+		if r.Status == 200 && r.Size <= 0 {
+			t.Fatalf("200 with no size: %+v", r)
+		}
+		if r.Status == 304 && r.Size != 0 {
+			t.Fatalf("304 with size: %+v", r)
+		}
+		if r.LastModified > r.Time {
+			t.Fatalf("Last-Modified in the future: %+v", r)
+		}
+	}
+	if log.Clients() < 2 {
+		t.Error("too few clients")
+	}
+}
+
+func TestGenerateServerLogDeterministic(t *testing.T) {
+	a, _ := GenerateServerLog(smallConfig())
+	b, _ := GenerateServerLog(smallConfig())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratedLogHasEmbeddedLocality(t *testing.T) {
+	// Embedded images mostly follow a page by the same client within
+	// seconds — the structure behind Fig 1. (Not always: downstream
+	// cache suppression can drop the page while an image leaks through.)
+	log, _ := GenerateServerLog(smallConfig())
+	lastPage := make(map[string]trace.Record)
+	checked, close := 0, 0
+	for i := range log {
+		r := log[i]
+		if !r.Embedded {
+			if trace.ContentType(r.URL) == "text/html" {
+				lastPage[r.Client] = r
+			}
+			continue
+		}
+		p, ok := lastPage[r.Client]
+		if !ok {
+			continue
+		}
+		checked++
+		if r.Time-p.Time <= 120 {
+			close++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("too few embedded requests to check: %d", checked)
+	}
+	if frac := float64(close) / float64(checked); frac < 0.6 {
+		t.Errorf("only %.2f of embedded images within 120s of a page", frac)
+	}
+}
+
+func TestGeneratedLogZipfShare(t *testing.T) {
+	// App. A: ~85% of requests go to <10% of unique resources. Synthetic
+	// logs should show strong concentration (>= 50% to top 10%).
+	cfg := ProfileAIUSA(0.2)
+	log, _ := GenerateServerLog(cfg)
+	share := log.TopResourceShare(0.10)
+	if share < 0.6 {
+		t.Errorf("top-10%% share = %.2f, want >= 0.6 (paper: ~0.85)", share)
+	}
+}
+
+func TestProfilesShape(t *testing.T) {
+	for _, cfg := range ServerProfiles(0.05) {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			log, site := GenerateServerLog(cfg)
+			if len(log) == 0 {
+				t.Fatal("empty log")
+			}
+			perSource := float64(len(log)) / float64(log.Clients())
+			if perSource < 1 {
+				t.Errorf("requests per source = %v", perSource)
+			}
+			if len(site.Resources) == 0 {
+				t.Fatal("no resources")
+			}
+		})
+	}
+}
+
+func TestProfileResourceCounts(t *testing.T) {
+	// Resource totals should approximate Table 3 (within 2x).
+	cases := []struct {
+		cfg  SiteConfig
+		want int
+	}{
+		{ProfileAIUSA(0.05), 1102},
+		{ProfileApache(0.05), 788},
+		{ProfileMarimba(0.05), 94},
+	}
+	for _, c := range cases {
+		site := BuildSite(c.cfg)
+		n := len(site.Resources)
+		if n < c.want/2 || n > c.want*2 {
+			t.Errorf("%s: %d resources, want ~%d", c.cfg.Name, n, c.want)
+		}
+	}
+}
+
+func TestMarimbaIsPostDominated(t *testing.T) {
+	log, _ := GenerateServerLog(ProfileMarimba(0.05))
+	posts := 0
+	for i := range log {
+		if log[i].Method == "POST" {
+			posts++
+		}
+	}
+	if frac := float64(posts) / float64(len(log)); frac < 0.9 {
+		t.Errorf("POST fraction = %.2f, want >= 0.9", frac)
+	}
+}
+
+func TestGenerateClientLog(t *testing.T) {
+	cfg := ClientLogConfig{Name: "t", Seed: 9, Servers: 20, Clients: 30, Requests: 8000, Duration: days(3)}
+	log, sites := GenerateClientLog(cfg)
+	if len(log) != 8000 {
+		t.Fatalf("len = %d", len(log))
+	}
+	if len(sites) != 20 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	if got := log.Servers(); got < 10 || got > 20 {
+		t.Errorf("distinct servers in log = %d", got)
+	}
+	for i := range log {
+		if log[i].URL[0] == '/' {
+			t.Fatalf("client log URL not host-qualified: %s", log[i].URL)
+		}
+	}
+	// Zipf across servers: top server way above median.
+	perServer := map[string]int{}
+	for i := range log {
+		perServer[trace.DirPrefix(log[i].URL, 0)]++
+	}
+	max := 0
+	for _, c := range perServer {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(log)/10 {
+		t.Errorf("no hot server: max share %d/%d", max, len(log))
+	}
+}
+
+func TestResourceModificationProcess(t *testing.T) {
+	r := &Resource{URL: "/x", Size: 1, birth: 1000, changeInterval: 100}
+	if lm := r.LastModifiedAt(999); lm != 1000 {
+		t.Errorf("before birth: %d", lm)
+	}
+	if lm := r.LastModifiedAt(1050); lm != 1000 {
+		t.Errorf("mid-interval: %d", lm)
+	}
+	if lm := r.LastModifiedAt(1250); lm != 1200 {
+		t.Errorf("after two ticks: %d", lm)
+	}
+	if !r.ChangesBetween(1050, 1150) {
+		t.Error("change at 1100 missed")
+	}
+	if r.ChangesBetween(1110, 1190) {
+		t.Error("phantom change")
+	}
+	static := &Resource{URL: "/s", birth: 500}
+	if static.LastModifiedAt(1e9) != 500 || static.ChangesBetween(0, 1e9) {
+		t.Error("static resource must never change")
+	}
+}
+
+func TestResourceTableSorted(t *testing.T) {
+	s := BuildSite(smallConfig())
+	tab := s.ResourceTable()
+	if len(tab) != len(s.Resources) {
+		t.Fatal("table size mismatch")
+	}
+	for i := 1; i < len(tab); i++ {
+		if tab[i-1].URL >= tab[i].URL {
+			t.Fatal("table not sorted")
+		}
+	}
+}
+
+func TestDiurnalArrivals(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Requests = 20000
+	cfg.Duration = days(4)
+	cfg.DiurnalAmplitude = 0.9
+	log, _ := GenerateServerLog(cfg)
+
+	day, night := 0, 0
+	for i := range log {
+		hour := (log[i].Time % 86400) / 3600
+		switch {
+		case hour >= 10 && hour < 16: // around the sine peak
+			day++
+		case hour >= 22 || hour < 4: // around the trough
+			night++
+		}
+	}
+	if day <= night*2 {
+		t.Errorf("no diurnal shape: day=%d night=%d", day, night)
+	}
+
+	// Amplitude 0 keeps the distribution roughly flat.
+	cfg.DiurnalAmplitude = 0
+	cfg.Seed++ // avoid any caching illusions
+	flat, _ := GenerateServerLog(cfg)
+	day, night = 0, 0
+	for i := range flat {
+		hour := (flat[i].Time % 86400) / 3600
+		switch {
+		case hour >= 10 && hour < 16:
+			day++
+		case hour >= 22 || hour < 4:
+			night++
+		}
+	}
+	if day > night*2 {
+		t.Errorf("uniform arrivals look diurnal: day=%d night=%d", day, night)
+	}
+}

@@ -1,0 +1,386 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SiteConfig describes one synthetic Web site: its resource tree and the
+// behaviour of the client population requesting it.
+type SiteConfig struct {
+	// Name labels the profile (e.g. "sun-like").
+	Name string
+	// Host, when non-empty, prefixes every URL with the host name —
+	// used for client (proxy-side) logs. Server logs leave it empty.
+	Host string
+	// Seed fixes all randomness.
+	Seed int64
+
+	// Site structure.
+	// Dirs is the number of first-level directories.
+	Dirs int
+	// MaxDepth is the maximum directory depth (>= 1).
+	MaxDepth int
+	// Pages is the number of HTML pages spread over the tree.
+	Pages int
+	// MeanImagesPerPage is the mean number of embedded images per page;
+	// images live in the page's own directory.
+	MeanImagesPerPage float64
+	// SharedImageProb is the chance an embedded slot reuses an existing
+	// image from the same directory (site-wide logos etc.) rather than
+	// a page-private one.
+	SharedImageProb float64
+	// LinksPerPage is the mean outgoing HREF links per page.
+	LinksPerPage float64
+	// CrossDirLinkProb is the chance a link points outside the page's
+	// first-level directory.
+	CrossDirLinkProb float64
+
+	// Client behaviour.
+	// Clients is the number of distinct sources.
+	Clients int
+	// Requests is the target request count for the generated log.
+	Requests int
+	// Duration is the time the log spans, in seconds.
+	Duration int64
+	// StartTime is the Unix time of the first request; zero means
+	// 1998-07-01 00:00:00 UTC, keeping generated logs in the paper's era.
+	StartTime int64
+	// ZipfPages is the popularity skew over entry pages.
+	ZipfPages float64
+	// ZipfClients is the activity skew over clients (App. A: often 10%
+	// of clients produce half the requests).
+	ZipfClients float64
+	// FollowLinkProb is the chance a session follows a link to another
+	// page rather than ending.
+	FollowLinkProb float64
+	// MeanThinkTime is the mean seconds between page views in a session.
+	MeanThinkTime float64
+	// MeanImageGap is the mean seconds between a page and each of its
+	// embedded images.
+	MeanImageGap float64
+	// ImageFetchProb is the chance a client session fetches embedded
+	// images at all (clients on slow links disable image loading, §2.2).
+	ImageFetchProb float64
+
+	// Sizes (bytes).
+	HTMLMedian, HTMLMean   float64
+	ImageMedian, ImageMean float64
+
+	// MeanChangeInterval is the mean seconds between modifications of a
+	// resource; zero disables modification. Individual resources get
+	// intervals spread around the mean (some change often, most rarely).
+	MeanChangeInterval int64
+
+	// PostFraction is the fraction of requests using POST instead of
+	// GET (the Marimba log is practically all POST, App. A).
+	PostFraction float64
+
+	// ClientCacheTTL models browser/proxy caching downstream of the
+	// logged server: a repeat request for a URL the same source fetched
+	// within this many seconds is suppressed (never reaches the server
+	// log) with probability CacheSuppressProb. Real server logs show few
+	// quick same-source repeats for exactly this reason (Table 1:
+	// 6.5-23.7% of requests repeat within two hours). TTL zero means
+	// 1800s; a negative TTL disables suppression.
+	ClientCacheTTL int64
+	// CacheSuppressProb defaults to 0.9 — sources are proxies fronting
+	// many users, so some repeats still leak through.
+	CacheSuppressProb float64
+
+	// SessionReturnProb is the chance a source's next session starts
+	// shortly after its previous one rather than at a uniform time —
+	// proxies fronting active user populations revisit in bursts,
+	// producing the repeat-access spacing of Table 1. Default 0.6.
+	SessionReturnProb float64
+	// ReturnGapMean is the mean seconds between such clustered
+	// sessions. Default 2400.
+	ReturnGapMean float64
+
+	// DiurnalAmplitude, in [0,1), modulates session arrival density over
+	// the day: density(t) = 1 + A*sin(2π·hour/24 - π/2), peaking mid-day
+	// and bottoming out at night, as real 1998 logs do. Zero (default)
+	// keeps arrivals uniform.
+	DiurnalAmplitude float64
+}
+
+func (c *SiteConfig) fillDefaults() {
+	if c.Dirs <= 0 {
+		c.Dirs = 10
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 2
+	}
+	if c.Pages <= 0 {
+		c.Pages = 100
+	}
+	if c.Clients <= 0 {
+		c.Clients = 50
+	}
+	if c.Requests <= 0 {
+		c.Requests = 10000
+	}
+	if c.Duration <= 0 {
+		c.Duration = 7 * 24 * 3600
+	}
+	if c.StartTime == 0 {
+		c.StartTime = 899251200 // 1998-07-01 00:00:00 UTC
+	}
+	if c.ZipfPages <= 0 {
+		c.ZipfPages = 0.8
+	}
+	if c.ZipfClients <= 0 {
+		c.ZipfClients = 0.9
+	}
+	if c.FollowLinkProb <= 0 {
+		c.FollowLinkProb = 0.6
+	}
+	if c.MeanThinkTime <= 0 {
+		c.MeanThinkTime = 30
+	}
+	if c.MeanImageGap <= 0 {
+		c.MeanImageGap = 1.5
+	}
+	if c.ImageFetchProb <= 0 {
+		c.ImageFetchProb = 0.9
+	}
+	if c.HTMLMedian <= 0 {
+		c.HTMLMedian = 1530
+	}
+	if c.HTMLMean <= 0 {
+		c.HTMLMean = 8000
+	}
+	if c.ImageMedian <= 0 {
+		c.ImageMedian = 2000
+	}
+	if c.ImageMean <= 0 {
+		c.ImageMean = 16000
+	}
+	if c.LinksPerPage <= 0 {
+		c.LinksPerPage = 4
+	}
+	if c.CrossDirLinkProb <= 0 {
+		c.CrossDirLinkProb = 0.15
+	}
+	if c.SharedImageProb <= 0 {
+		c.SharedImageProb = 0.5
+	}
+	if c.ClientCacheTTL == 0 {
+		c.ClientCacheTTL = 1800
+	}
+	if c.CacheSuppressProb <= 0 {
+		c.CacheSuppressProb = 0.9
+	}
+	if c.SessionReturnProb <= 0 {
+		c.SessionReturnProb = 0.6
+	}
+	if c.ReturnGapMean <= 0 {
+		c.ReturnGapMean = 2400
+	}
+}
+
+// Resource is one file at the synthetic site.
+type Resource struct {
+	URL  string
+	Size int64
+	// birth and changeInterval drive LastModifiedAt.
+	birth          int64
+	changeInterval int64
+}
+
+// LastModifiedAt returns the resource's Last-Modified time as of t: the
+// most recent tick of its modification process at or before t.
+func (r *Resource) LastModifiedAt(t int64) int64 {
+	if r.changeInterval <= 0 || t <= r.birth {
+		return r.birth
+	}
+	n := (t - r.birth) / r.changeInterval
+	return r.birth + n*r.changeInterval
+}
+
+// ChangesBetween reports whether the resource is modified in (t1, t2].
+func (r *Resource) ChangesBetween(t1, t2 int64) bool {
+	return r.LastModifiedAt(t2) > r.LastModifiedAt(t1)
+}
+
+// Page is an HTML page with embedded images and outgoing links.
+type Page struct {
+	Res    *Resource
+	Images []*Resource
+	Links  []int // indices into Site.Pages
+	dir    string
+}
+
+// Site is a generated resource tree.
+type Site struct {
+	Config    SiteConfig
+	Pages     []*Page
+	Resources map[string]*Resource
+	dirs      []string
+}
+
+// BuildSite constructs the resource tree for cfg deterministically.
+func BuildSite(cfg SiteConfig) *Site {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Site{Config: cfg, Resources: make(map[string]*Resource)}
+
+	htmlSize := NewLogNormal(rng, cfg.HTMLMedian, cfg.HTMLMean)
+	imgSize := NewLogNormal(rng, cfg.ImageMedian, cfg.ImageMean)
+
+	// Directory tree: Dirs first-level directories, each with a chain of
+	// subdirectories up to MaxDepth.
+	for d := 0; d < cfg.Dirs; d++ {
+		path := fmt.Sprintf("/section-%02d", d)
+		s.dirs = append(s.dirs, path)
+		depth := 1 + rng.Intn(cfg.MaxDepth)
+		for k := 1; k < depth; k++ {
+			path += fmt.Sprintf("/area-%d", k)
+			s.dirs = append(s.dirs, path)
+		}
+	}
+
+	birth := func() int64 {
+		// Resources predate the log by up to ~a year.
+		return cfg.StartTime - int64(rng.Intn(365*24*3600)) - 1
+	}
+	changeInterval := func() int64 {
+		if cfg.MeanChangeInterval <= 0 {
+			return 0
+		}
+		// Heavy-tailed: a few resources change frequently, most
+		// rarely. Spread factors uniformly in log-space around 1.
+		f := math.Exp(rng.Float64()*4 - 2) // ~0.14x .. ~7.4x
+		iv := int64(float64(cfg.MeanChangeInterval) * f)
+		if iv < 60 {
+			iv = 60
+		}
+		return iv
+	}
+
+	// Pages are spread over directories with a bias toward shallow ones:
+	// real sites keep most content near the root, so deep prefixes are
+	// rare and repeat rarely (the level gradient of Fig 1).
+	dirWeights := make([]float64, len(s.dirs))
+	var wsum float64
+	for i, d := range s.dirs {
+		depth := 0
+		for _, c := range d {
+			if c == '/' {
+				depth++
+			}
+		}
+		w := 1.0
+		for k := 1; k < depth; k++ {
+			w /= 2
+		}
+		wsum += w
+		dirWeights[i] = wsum
+	}
+	pickDir := func() string {
+		u := rng.Float64() * wsum
+		for i, w := range dirWeights {
+			if u <= w {
+				return s.dirs[i]
+			}
+		}
+		return s.dirs[len(s.dirs)-1]
+	}
+	dirImages := make(map[string][]*Resource)
+	for p := 0; p < cfg.Pages; p++ {
+		dir := pickDir()
+		url := fmt.Sprintf("%s/page-%04d-index.html", dir, p)
+		res := &Resource{URL: cfg.Host + url, Size: htmlSize.Next(), birth: birth(), changeInterval: changeInterval()}
+		s.Resources[res.URL] = res
+		page := &Page{Res: res, dir: dir}
+
+		// Deep content is file-like: embedded images thin out with
+		// directory depth (depth-1 pages carry the configured mean).
+		imgMean := cfg.MeanImagesPerPage
+		for k := 1; k < pathDepthOf(dir); k++ {
+			imgMean /= 2.5
+		}
+		nImg := poissonish(rng, imgMean)
+		for i := 0; i < nImg; i++ {
+			pool := dirImages[dir]
+			if len(pool) > 0 && rng.Float64() < cfg.SharedImageProb {
+				page.Images = append(page.Images, pool[rng.Intn(len(pool))])
+				continue
+			}
+			iu := fmt.Sprintf("%s/inline-img-%04d-%d.gif", dir, p, i)
+			ir := &Resource{URL: cfg.Host + iu, Size: imgSize.Next(), birth: birth(), changeInterval: changeInterval()}
+			s.Resources[ir.URL] = ir
+			dirImages[dir] = append(dirImages[dir], ir)
+			page.Images = append(page.Images, ir)
+		}
+		s.Pages = append(s.Pages, page)
+	}
+
+	// Links: mostly within the same first-level directory.
+	byTopDir := make(map[string][]int)
+	topOf := func(dir string) string {
+		// dir is like /d03 or /d03/s1/s2; top is /d03.
+		for i := 1; i < len(dir); i++ {
+			if dir[i] == '/' {
+				return dir[:i]
+			}
+		}
+		return dir
+	}
+	for i, p := range s.Pages {
+		byTopDir[topOf(p.dir)] = append(byTopDir[topOf(p.dir)], i)
+	}
+	// Link targets are popularity-biased (hub pages attract links): page
+	// index p was already assigned Zipf rank order by the entry-page
+	// sampler, so Zipf-sample link targets over the same index space.
+	globalLink := NewZipf(rng, 1.0, len(s.Pages))
+	localLink := make(map[string]*Zipf)
+	for _, p := range s.Pages {
+		n := poissonish(rng, cfg.LinksPerPage)
+		for l := 0; l < n; l++ {
+			var target int
+			top := topOf(p.dir)
+			if rng.Float64() < cfg.CrossDirLinkProb || len(byTopDir[top]) < 2 {
+				target = globalLink.Next()
+			} else {
+				local := byTopDir[top]
+				z, ok := localLink[top]
+				if !ok {
+					z = NewZipf(rng, 1.0, len(local))
+					localLink[top] = z
+				}
+				target = local[z.Next()]
+			}
+			p.Links = append(p.Links, target)
+		}
+	}
+	return s
+}
+
+// pathDepthOf counts the directory levels of a dir path like "/d03/s1".
+func pathDepthOf(dir string) int {
+	n := 0
+	for _, c := range dir {
+		if c == '/' {
+			n++
+		}
+	}
+	return n
+}
+
+// poissonish returns a small nonnegative count with the given mean — a
+// geometric-ish approximation that avoids a full Poisson sampler.
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	for rng.Float64() < mean/(mean+1) {
+		n++
+		if n > 50 {
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+// Package tracegen generates synthetic Web workloads that stand in for the
+// proprietary 1997-98 logs the paper evaluates (Digital and AT&T client
+// logs; AIUSA, Apache, Marimba, and Sun server logs — Appendix A).
+//
+// The generator reproduces the structural properties the paper's results
+// depend on: a directory-tree site model with embedded images and mostly
+// intra-directory links, Zipf resource and client popularity, session-based
+// reference locality (images fetched within seconds of their page, think
+// times between pages), heavy-tailed response sizes, and per-resource
+// modification processes. Every generator is deterministic given its seed.
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples from a generalized Zipf distribution over {0, ..., n-1}
+// where P(i) is proportional to 1/(i+1)^s. Unlike math/rand's Zipf it
+// supports any s > 0 (Web popularity skews are typically 0.6-0.9).
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf returns a Zipf sampler over n items with skew s, drawing
+// randomness from rng.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next sample: rank 0 is the most popular item.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of items.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// LogNormal samples sizes with the given median and mean (mean > median),
+// matching the paper's response-size statistics (§2.3: mean 13900 bytes,
+// median 1530 bytes).
+type LogNormal struct {
+	mu, sigma float64
+	rng       *rand.Rand
+}
+
+// NewLogNormal derives lognormal parameters from a target median and mean.
+func NewLogNormal(rng *rand.Rand, median, mean float64) *LogNormal {
+	if median <= 0 {
+		median = 1
+	}
+	if mean <= median {
+		mean = median * 1.5
+	}
+	mu := math.Log(median)
+	sigma := math.Sqrt(2 * math.Log(mean/median))
+	return &LogNormal{mu: mu, sigma: sigma, rng: rng}
+}
+
+// Next returns a sample, at least 1.
+func (ln *LogNormal) Next() int64 {
+	v := math.Exp(ln.mu + ln.sigma*ln.rng.NormFloat64())
+	if v < 1 {
+		v = 1
+	}
+	if v > 1<<30 {
+		v = 1 << 30
+	}
+	return int64(v)
+}
+
+// expDuration draws an exponential duration with the given mean seconds,
+// at least min.
+func expDuration(rng *rand.Rand, mean, min float64) float64 {
+	d := rng.ExpFloat64() * mean
+	if d < min {
+		d = min
+	}
+	return d
+}

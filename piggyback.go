@@ -1,0 +1,315 @@
+// Package piggyback is an implementation of the end-to-end Web performance
+// architecture of Cohen, Krishnamurthy, and Rexford, "Improving End-to-End
+// Performance of the Web Using Server Volumes and Proxy Filters" (SIGCOMM
+// 1998): servers group related resources into volumes, proxies send
+// filters, and servers piggyback customized volume information (URL, size,
+// Last-Modified) onto response messages as HTTP/1.1 chunked trailers. The
+// proxy uses the piggybacked information for cache coherency, cache
+// replacement, prefetching, adaptive freshness intervals, and informed
+// fetching.
+//
+// The package re-exports the building blocks:
+//
+//   - Volume engines: NewDirVolumes (directory-based, §3.2) and
+//     NewProbBuilder/ProbVolumes (probability-based with thinning, §3.3).
+//   - Filters and piggyback messages: Filter, Message, Element, RPV lists.
+//   - A from-scratch HTTP/1.1 wire layer with chunked trailers
+//     (WireServer, WireClient, WireRequest, WireResponse).
+//   - A cooperating origin server (NewOriginServer), a caching proxy
+//     (NewProxy) with replacement policies, prefetching, and adaptive
+//     freshness, and a transparent volume center (NewVolumeCenter).
+//   - Synthetic workload generation (GenerateServerLog, profiles matching
+//     the paper's logs) and the trace-driven evaluation harness
+//     (NewSimulator) computing the paper's §3.1 metrics.
+//
+// See examples/ for runnable end-to-end setups and cmd/experiments for the
+// harness that regenerates every table and figure in the paper.
+package piggyback
+
+import (
+	"io"
+
+	"piggyback/internal/cache"
+	"piggyback/internal/center"
+	"piggyback/internal/core"
+	"piggyback/internal/httpwire"
+	"piggyback/internal/proxy"
+	"piggyback/internal/server"
+	"piggyback/internal/sim"
+	"piggyback/internal/trace"
+	"piggyback/internal/tracegen"
+)
+
+// Core protocol types (§2).
+type (
+	// Filter is a proxy-generated piggyback filter (§2.2).
+	Filter = core.Filter
+	// Element is one piggyback element: URL, size, Last-Modified (§2.1).
+	Element = core.Element
+	// Message is a piggyback message: volume id plus elements (§2.3).
+	Message = core.Message
+	// VolumeID identifies a volume within a server (2 bytes, §2.3).
+	VolumeID = core.VolumeID
+	// Provider is a volume engine generating piggyback messages.
+	Provider = core.Provider
+	// RPVList tracks recently piggybacked volumes for one server (§2.2).
+	RPVList = core.RPVList
+	// RPVTable maps servers to RPV lists (§2.2).
+	RPVTable = core.RPVTable
+	// FrequencyControl is the stateless piggyback pacing of §2.2.
+	FrequencyControl = core.FrequencyControl
+)
+
+// Volume engines (§3).
+type (
+	// DirConfig configures directory-based volumes (§3.2).
+	DirConfig = core.DirConfig
+	// DirVolumes is the directory-based volume engine.
+	DirVolumes = core.DirVolumes
+	// ProbConfig configures probability-based volume construction (§3.3).
+	ProbConfig = core.ProbConfig
+	// ProbBuilder estimates pairwise implication probabilities.
+	ProbBuilder = core.ProbBuilder
+	// ProbVolumes is the probability-based volume engine.
+	ProbVolumes = core.ProbVolumes
+	// OnlineProbVolumes rebuilds probability volumes from live traffic
+	// (§3.3.1 "online fashion").
+	OnlineProbVolumes = core.OnlineProbVolumes
+	// Implication is one probability-volume membership pair.
+	Implication = core.Implication
+)
+
+// NewOnlineProbVolumes returns an online probability-volume engine that
+// rebuilds its snapshot every rebuildEvery observations.
+func NewOnlineProbVolumes(cfg ProbConfig, rebuildEvery int) *OnlineProbVolumes {
+	return core.NewOnlineProbVolumes(cfg, rebuildEvery)
+}
+
+// ParseFilter parses a Piggy-Filter header value.
+func ParseFilter(s string) (Filter, error) { return core.ParseFilter(s) }
+
+// ParseMessage parses a P-Volume trailer value.
+func ParseMessage(s string) (Message, error) { return core.ParseMessage(s) }
+
+// NewDirVolumes returns a directory-based volume engine.
+func NewDirVolumes(cfg DirConfig) *DirVolumes { return core.NewDirVolumes(cfg) }
+
+// NewProbBuilder returns a probability-volume builder.
+func NewProbBuilder(cfg ProbConfig) *ProbBuilder { return core.NewProbBuilder(cfg) }
+
+// NewRPVList returns an RPV list with the given timeout and max length.
+func NewRPVList(timeout int64, maxLen int) *RPVList { return core.NewRPVList(timeout, maxLen) }
+
+// NewRPVTable returns a per-server RPV table.
+func NewRPVTable(timeout int64, maxLen int) *RPVTable { return core.NewRPVTable(timeout, maxLen) }
+
+// HTTP/1.1 wire layer (§2.3).
+type (
+	// WireRequest is an HTTP/1.1 request message.
+	WireRequest = httpwire.Request
+	// WireResponse is an HTTP/1.1 response message with trailer support.
+	WireResponse = httpwire.Response
+	// WireHeader holds header fields.
+	WireHeader = httpwire.Header
+	// WireServer serves HTTP/1.1 with persistent connections.
+	WireServer = httpwire.Server
+	// WireClient issues requests over persistent connections.
+	WireClient = httpwire.Client
+	// WireHandler responds to requests.
+	WireHandler = httpwire.Handler
+	// WireHandlerFunc adapts a function to WireHandler.
+	WireHandlerFunc = httpwire.HandlerFunc
+)
+
+// NewWireRequest returns a request for the given method and path.
+func NewWireRequest(method, path string) *WireRequest { return httpwire.NewRequest(method, path) }
+
+// NewWireClient returns a client with persistent connections.
+func NewWireClient() *WireClient { return httpwire.NewClient() }
+
+// SetFilter attaches a proxy filter (and TE: chunked) to a request.
+func SetFilter(req *WireRequest, f Filter) { httpwire.SetFilter(req, f) }
+
+// ExtractPiggyback parses the P-Volume trailer from a response.
+func ExtractPiggyback(resp *WireResponse) (Message, bool) { return httpwire.ExtractPiggyback(resp) }
+
+// Origin server (§2.1).
+type (
+	// OriginServer is a cooperating piggybacking origin server.
+	OriginServer = server.Server
+	// Store is the origin's resource table.
+	Store = server.Store
+	// Resource is one origin resource.
+	Resource = server.Resource
+)
+
+// NewStore returns an empty resource store.
+func NewStore() *Store { return server.NewStore() }
+
+// NewOriginServer returns an origin server over the store and volume
+// engine; clock supplies the current Unix time (use func() int64 {
+// return time.Now().Unix() } outside simulations).
+func NewOriginServer(st *Store, vols Provider, clock func() int64) *OriginServer {
+	return server.New(st, vols, clock)
+}
+
+// Caching proxy (§2.1, §4).
+type (
+	// Proxy is the caching piggybacking proxy.
+	Proxy = proxy.Proxy
+	// ProxyConfig parameterizes a proxy.
+	ProxyConfig = proxy.Config
+	// ProxyStats counts proxy activity.
+	ProxyStats = proxy.Stats
+	// FetchItem is one pending (pre)fetch with piggybacked attributes.
+	FetchItem = proxy.FetchItem
+	// InformedQueue is the smallest-first fetch queue (§4).
+	InformedQueue = proxy.InformedQueue
+	// FreshnessEstimator adapts per-resource freshness intervals (§4).
+	FreshnessEstimator = proxy.FreshnessEstimator
+)
+
+// NewProxy returns a caching proxy.
+func NewProxy(cfg ProxyConfig) *Proxy { return proxy.New(cfg) }
+
+// Cache policies (§4 cache replacement).
+type (
+	// Cache is the byte-capacity proxy cache.
+	Cache = cache.Cache
+	// CacheEntry is one cached resource.
+	CacheEntry = cache.Entry
+	// CachePolicy assigns eviction priorities.
+	CachePolicy = cache.Policy
+	// LRU, LFU, GDSize, PiggybackLRU, and ServerGD are replacement
+	// policies.
+	LRU          = cache.LRU
+	LFU          = cache.LFU
+	GDSize       = cache.GDSize
+	PiggybackLRU = cache.PiggybackLRU
+	ServerGD     = cache.ServerGD
+)
+
+// NewCache returns a cache with the given capacity and policy.
+func NewCache(capacity int64, p CachePolicy) *Cache { return cache.New(capacity, p) }
+
+// Transparent volume center (§1, §5).
+type (
+	// VolumeCenter is the transparent piggybacking intermediary.
+	VolumeCenter = center.Center
+	// CenterConfig parameterizes a volume center.
+	CenterConfig = center.Config
+)
+
+// NewVolumeCenter returns a transparent volume center.
+func NewVolumeCenter(cfg CenterConfig) *VolumeCenter { return center.New(cfg) }
+
+// Traces and workloads (Appendix A).
+type (
+	// TraceRecord is one access-log entry.
+	TraceRecord = trace.Record
+	// TraceLog is a time-ordered access log.
+	TraceLog = trace.Log
+	// SiteConfig describes a synthetic site and client population.
+	SiteConfig = tracegen.SiteConfig
+	// ClientLogConfig describes a synthetic proxy-side client log.
+	ClientLogConfig = tracegen.ClientLogConfig
+	// Site is a generated resource tree.
+	Site = tracegen.Site
+)
+
+// GenerateServerLog produces a synthetic server log and its site.
+func GenerateServerLog(cfg SiteConfig) (TraceLog, *Site) { return tracegen.GenerateServerLog(cfg) }
+
+// GenerateClientLog produces a synthetic proxy-side client log.
+func GenerateClientLog(cfg ClientLogConfig) (TraceLog, map[string]*Site) {
+	return tracegen.GenerateClientLog(cfg)
+}
+
+// ParseCLF parses a Common Log Format line.
+func ParseCLF(line string) (TraceRecord, error) { return trace.ParseCLF(line) }
+
+// ParseSquid parses a Squid native access.log line.
+func ParseSquid(line string) (TraceRecord, error) { return trace.ParseSquid(line) }
+
+// ParseAnyLog parses a line in any supported log dialect (CLF or Squid).
+func ParseAnyLog(line string) (TraceRecord, error) { return trace.ParseAny(line) }
+
+// FormatCLF renders a record as a Common Log Format line.
+func FormatCLF(r TraceRecord) string { return trace.FormatCLF(r) }
+
+// Evaluation harness (§3.1).
+type (
+	// Simulator replays a log through the piggyback protocol.
+	Simulator = sim.Simulator
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult holds the §3.1 metrics.
+	SimResult = sim.Result
+)
+
+// NewSimulator returns a trace-driven protocol simulator.
+func NewSimulator(cfg SimConfig) *Simulator { return sim.New(cfg) }
+
+// LoadSite populates a store from a generated site — convenience for
+// standing up an origin server on a synthetic workload.
+func LoadSite(st *Store, site *Site) {
+	for _, r := range site.ResourceTable() {
+		st.Put(Resource{URL: r.URL, Size: r.Size, LastModified: r.LastModifiedAt(site.Config.StartTime)})
+	}
+}
+
+// Extensions and analysis helpers.
+
+type (
+	// PopularProvider adds the §5 popular-resources fallback volume.
+	PopularProvider = core.PopularProvider
+	// HierarchyConfig parameterizes the two-level caching replay.
+	HierarchyConfig = sim.HierarchyConfig
+	// HierarchyResult reports the two-level caching replay.
+	HierarchyResult = sim.HierarchyResult
+	// CoherencyReport summarizes the §4 cache-coherency arithmetic.
+	CoherencyReport = sim.CoherencyReport
+	// PrefetchPoint is one point of the §4 prefetching tradeoff.
+	PrefetchPoint = sim.PrefetchPoint
+	// ReplacementResult reports a cache-replacement replay.
+	ReplacementResult = sim.ReplacementResult
+	// LocalityStats summarizes directory-prefix locality (Fig 1).
+	LocalityStats = sim.LocalityStats
+)
+
+// NewPopularProvider wraps a volume engine with a popular-resources
+// fallback volume (§5).
+func NewPopularProvider(inner Provider, topN int) *PopularProvider {
+	return core.NewPopularProvider(inner, topN)
+}
+
+// ReadProbVolumes loads probability volumes written by
+// (*ProbVolumes).WriteTo — servers build volumes offline (§3.3.1) and
+// reload them at startup.
+func ReadProbVolumes(r io.Reader) (*ProbVolumes, error) { return core.ReadProbVolumes(r) }
+
+// ReplayHierarchy replays a log through a two-level proxy tree with
+// piggyback coherency propagation (§1 hierarchical caching).
+func ReplayHierarchy(log TraceLog, cfg HierarchyConfig) HierarchyResult {
+	return sim.ReplayHierarchy(log, cfg)
+}
+
+// Coherency derives the §4 coherency report from a simulation result.
+func Coherency(r SimResult) CoherencyReport { return sim.Coherency(r) }
+
+// PrefetchTradeoff sweeps probability thresholds to produce the §4
+// prefetching tradeoff curve.
+func PrefetchTradeoff(log TraceLog, vols *ProbVolumes, thresholds []float64) []PrefetchPoint {
+	return sim.PrefetchTradeoff(log, vols, thresholds)
+}
+
+// ReplayReplacement replays a log through a cache policy, optionally with
+// piggyback pinning (§4 cache replacement).
+func ReplayReplacement(log TraceLog, capacity int64, policy CachePolicy, provider Provider, t int64) ReplacementResult {
+	return sim.ReplayReplacement(log, capacity, policy, provider, t)
+}
+
+// AnalyzeLocality computes the directory-prefix locality of Fig 1.
+func AnalyzeLocality(log TraceLog, levels []int, includeEmbedded bool) []LocalityStats {
+	return sim.AnalyzeLocality(log, levels, includeEmbedded)
+}

@@ -1,0 +1,123 @@
+package piggyback_test
+
+import (
+	"net"
+	"testing"
+
+	"piggyback"
+)
+
+// TestPublicAPIEndToEnd drives the library exactly as a downstream user
+// would: generate a workload, stand up an origin with volumes, front it
+// with a caching proxy, browse through it, and evaluate with the
+// simulator — all through the root package.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Workload.
+	log, site := piggyback.GenerateServerLog(piggyback.SiteConfig{
+		Name: "api-test", Seed: 5, Pages: 30, Dirs: 4, MaxDepth: 2,
+		MeanImagesPerPage: 2, Clients: 8, Requests: 800, Duration: 3600 * 6,
+	})
+	if len(log) != 800 {
+		t.Fatalf("log length %d", len(log))
+	}
+
+	// Offline evaluation via the simulator.
+	b := piggyback.NewProbBuilder(piggyback.ProbConfig{T: 300, Pt: 0.1})
+	for _, rec := range log {
+		b.Observe(rec)
+	}
+	vols := b.Build(0)
+	res := piggyback.NewSimulator(piggyback.SimConfig{T: 300, Provider: vols}).Run(log)
+	if res.Requests != len(log) {
+		t.Fatalf("sim requests %d", res.Requests)
+	}
+	if res.FractionPredicted() <= 0 {
+		t.Error("no predictions on a session workload")
+	}
+
+	// Live protocol.
+	now := log[0].Time
+	clock := func() int64 { return now }
+	store := piggyback.NewStore()
+	piggyback.LoadSite(store, site)
+	origin := piggyback.NewOriginServer(store,
+		piggyback.NewDirVolumes(piggyback.DirConfig{Level: 1, MTF: true, ServerMaxPiggy: 10}), clock)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	osrv := &piggyback.WireServer{Handler: origin}
+	go osrv.Serve(ol)
+	defer osrv.Close()
+
+	px := piggyback.NewProxy(piggyback.ProxyConfig{
+		Delta:      600,
+		Clock:      clock,
+		Resolve:    func(string) (string, error) { return ol.Addr().String(), nil },
+		BaseFilter: piggyback.Filter{MaxPiggy: 10},
+	})
+	defer px.Close()
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv := &piggyback.WireServer{Handler: px}
+	go psrv.Serve(pl)
+	defer psrv.Close()
+
+	client := piggyback.NewWireClient()
+	defer client.Close()
+	for i := 0; i < 100; i++ {
+		now = log[i].Time
+		req := piggyback.NewWireRequest("GET", "http://www.api.test"+log[i].URL)
+		resp, err := client.Do(pl.Addr().String(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != 200 {
+			t.Fatalf("request %d: status %d for %s", i, resp.Status, log[i].URL)
+		}
+	}
+	st := px.Stats()
+	if st.ClientRequests != 100 {
+		t.Errorf("ClientRequests = %d", st.ClientRequests)
+	}
+	if st.PiggybacksReceived == 0 {
+		t.Error("no piggybacks over the live protocol")
+	}
+	if px.CacheHitRate() <= 0 {
+		t.Error("no cache hits")
+	}
+}
+
+// TestPublicAPIFilterAndMessage covers the protocol value types exposed at
+// the root.
+func TestPublicAPIFilterAndMessage(t *testing.T) {
+	f, err := piggyback.ParseFilter(`maxpiggy=10; rpv="3,4"`)
+	if err != nil || f.MaxPiggy != 10 {
+		t.Fatalf("ParseFilter: %+v, %v", f, err)
+	}
+	m, err := piggyback.ParseMessage("17; /a/b.html 866268400 4096")
+	if err != nil || m.Volume != 17 || len(m.Elements) != 1 {
+		t.Fatalf("ParseMessage: %+v, %v", m, err)
+	}
+	rec, err := piggyback.ParseCLF(piggyback.FormatCLF(piggyback.TraceRecord{
+		Time: 899637753, Client: "p1", Method: "GET", URL: "/x", Status: 200, Size: 10,
+	}))
+	if err != nil || rec.URL != "/x" {
+		t.Fatalf("CLF roundtrip: %+v, %v", rec, err)
+	}
+}
+
+// TestPublicAPICachePolicies covers the exported cache surface.
+func TestPublicAPICachePolicies(t *testing.T) {
+	for _, p := range []piggyback.CachePolicy{
+		piggyback.LRU{}, piggyback.LFU{}, &piggyback.GDSize{}, piggyback.PiggybackLRU{},
+	} {
+		c := piggyback.NewCache(1000, p)
+		c.Put(piggyback.CacheEntry{URL: "/x", Size: 100, Expires: 300}, 1)
+		if _, ok := c.Get("/x", 2); !ok {
+			t.Errorf("%s: miss after put", p.Name())
+		}
+	}
+}
