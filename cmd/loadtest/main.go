@@ -1,0 +1,313 @@
+// Command loadtest stands up a live server→proxy stack (optionally routed
+// through a transparent volume center) on loopback and drives it with the
+// concurrent load generator across a scenario matrix — piggybacking on and
+// off, a concurrency sweep — reporting end-to-end throughput, latency
+// percentiles, and hit ratios, both as a human-readable table and as
+// machine-readable BENCH_loadtest.json so successive PRs accumulate a
+// performance trajectory.
+//
+// Usage:
+//
+//	loadtest [-profile aiusa] [-scale 0.02] [-mode closed|open]
+//	         [-workers 1,4,16] [-requests 2000] [-warmup 200]
+//	         [-piggyback on,off] [-maxpiggy 10] [-delta 900]
+//	         [-think 0] [-rate 500] [-center] [-prefetch]
+//	         [-json BENCH_loadtest.json] [-seed 1]
+//
+// Each scenario gets a fresh stack (empty proxy cache, fresh volumes) so
+// rows are comparable. The proxy's live /.piggy/stats endpoint is
+// snapshotted around every run; its deltas supply the proxy-side hit ratio
+// and piggyback counts in the report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"piggyback/internal/center"
+	"piggyback/internal/core"
+	"piggyback/internal/httpwire"
+	"piggyback/internal/loadgen"
+	"piggyback/internal/metrics"
+	"piggyback/internal/obs"
+	"piggyback/internal/proxy"
+	"piggyback/internal/server"
+	"piggyback/internal/trace"
+	"piggyback/internal/tracegen"
+)
+
+const host = "www.load.test"
+
+type options struct {
+	profile   string
+	scale     float64
+	mode      string
+	workers   []int
+	requests  int
+	warmup    int
+	piggyback []bool
+	maxPiggy  int
+	delta     int64
+	think     time.Duration
+	rate      float64
+	center    bool
+	prefetch  bool
+	jsonPath  string
+	seed      int64
+}
+
+// scenario is one cell of the matrix plus its outcome.
+type scenario struct {
+	Name      string          `json:"name"`
+	Piggyback bool            `json:"piggyback"`
+	Workers   int             `json:"workers"`
+	Report    *loadgen.Report `json:"report"`
+	// Proxy-side windowed counters for the run (from /.piggy/stats).
+	ProxyPiggybacks int64 `json:"proxy_piggybacks"`
+	ProxyElements   int64 `json:"proxy_elements"`
+	ProxyRefreshes  int64 `json:"proxy_refreshes"`
+	OriginRequests  int64 `json:"origin_requests"`
+}
+
+// benchOutput is the BENCH_loadtest.json schema.
+type benchOutput struct {
+	Benchmark string     `json:"benchmark"` // "loadtest"
+	Timestamp string     `json:"timestamp"` // RFC 3339
+	Profile   string     `json:"profile"`
+	Scale     float64    `json:"scale"`
+	Mode      string     `json:"mode"`
+	Requests  int        `json:"requests_per_scenario"`
+	Warmup    int        `json:"warmup"`
+	Center    bool       `json:"via_center"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+func main() {
+	log.SetFlags(0)
+	opt := parseFlags()
+
+	workload, site := buildWorkload(opt)
+	fmt.Printf("workload: profile %s ×%.3g → %d requests over %d resources\n",
+		opt.profile, opt.scale, len(workload), len(site.Resources))
+
+	out := benchOutput{
+		Benchmark: "loadtest",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Profile:   opt.profile,
+		Scale:     opt.scale,
+		Mode:      opt.mode,
+		Requests:  opt.requests,
+		Warmup:    opt.warmup,
+		Center:    opt.center,
+	}
+	tbl := &metrics.Table{Header: []string{
+		"scenario", "piggy", "workers", "reqs", "errs", "rps",
+		"p50ms", "p90ms", "p99ms", "maxms", "hit%", "proxyhit%",
+		"piggybacks", "elems", "origin",
+	}}
+	for _, piggy := range opt.piggyback {
+		for _, workers := range opt.workers {
+			sc := runScenario(opt, workload, site, piggy, workers)
+			out.Scenarios = append(out.Scenarios, sc)
+			r := sc.Report
+			tbl.AddRow(sc.Name, onOff(piggy), workers, r.Requests, r.Errors,
+				r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
+				ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio), pctOrDash(r.ProxyHitRatio),
+				sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests)
+		}
+	}
+	fmt.Println()
+	fmt.Print(tbl.String())
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(opt.jsonPath, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d scenarios)\n", opt.jsonPath, len(out.Scenarios))
+}
+
+func parseFlags() options {
+	var opt options
+	var workers, piggy string
+	flag.StringVar(&opt.profile, "profile", "aiusa", "tracegen profile: aiusa|apache|sun")
+	flag.Float64Var(&opt.scale, "scale", 0.02, "workload scale factor")
+	flag.StringVar(&opt.mode, "mode", "closed", "load discipline: closed|open")
+	flag.StringVar(&workers, "workers", "1,4,16", "comma-separated concurrency sweep")
+	flag.IntVar(&opt.requests, "requests", 2000, "requests per scenario")
+	flag.IntVar(&opt.warmup, "warmup", 200, "leading completions excluded from the report")
+	flag.StringVar(&piggy, "piggyback", "on,off", "piggybacking axis: on, off, or on,off")
+	flag.IntVar(&opt.maxPiggy, "maxpiggy", 10, "filter maxpiggy attribute")
+	flag.Int64Var(&opt.delta, "delta", 900, "proxy freshness interval Δ (seconds)")
+	flag.DurationVar(&opt.think, "think", 0, "closed-loop mean think time")
+	flag.Float64Var(&opt.rate, "rate", 500, "open-loop arrival rate (req/s)")
+	flag.BoolVar(&opt.center, "center", false, "route through a transparent volume center")
+	flag.BoolVar(&opt.prefetch, "prefetch", false, "enable proxy prefetching")
+	flag.StringVar(&opt.jsonPath, "json", "BENCH_loadtest.json", "machine-readable output path")
+	flag.Int64Var(&opt.seed, "seed", 1, "workload seed")
+	flag.Parse()
+
+	for _, w := range strings.Split(workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || n <= 0 {
+			log.Fatalf("loadtest: bad -workers element %q", w)
+		}
+		opt.workers = append(opt.workers, n)
+	}
+	for _, p := range strings.Split(piggy, ",") {
+		switch strings.TrimSpace(p) {
+		case "on":
+			opt.piggyback = append(opt.piggyback, true)
+		case "off":
+			opt.piggyback = append(opt.piggyback, false)
+		default:
+			log.Fatalf("loadtest: bad -piggyback element %q", p)
+		}
+	}
+	if opt.mode != "closed" && opt.mode != "open" {
+		log.Fatalf("loadtest: bad -mode %q", opt.mode)
+	}
+	if opt.warmup >= opt.requests {
+		log.Fatalf("loadtest: -warmup %d must be < -requests %d", opt.warmup, opt.requests)
+	}
+	return opt
+}
+
+// buildWorkload generates the synthetic trace and site for the profile.
+func buildWorkload(opt options) (trace.Log, *tracegen.Site) {
+	var cfg tracegen.SiteConfig
+	switch opt.profile {
+	case "aiusa":
+		cfg = tracegen.ProfileAIUSA(opt.scale)
+	case "apache":
+		cfg = tracegen.ProfileApache(opt.scale)
+	case "sun":
+		cfg = tracegen.ProfileSun(opt.scale)
+	default:
+		log.Fatalf("loadtest: unknown profile %q", opt.profile)
+	}
+	cfg.Seed = opt.seed
+	workload, site := tracegen.GenerateServerLog(cfg)
+	return workload.Clean(), site
+}
+
+// runScenario stands up a fresh stack and drives one load run through it.
+func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy bool, workers int) scenario {
+	clock := func() int64 { return time.Now().Unix() }
+
+	// Origin: the site's resources, last modified well before the run.
+	st := server.NewStore()
+	for _, r := range site.ResourceTable() {
+		st.Put(server.Resource{URL: r.URL, Size: r.Size,
+			LastModified: r.LastModifiedAt(site.Config.StartTime)})
+	}
+	vols := core.NewDirVolumes(core.DirConfig{
+		Level: 1, MTF: true, ServerMaxPiggy: opt.maxPiggy, PartitionByType: true,
+	})
+	origin := server.New(st, vols, clock)
+	ol := listen()
+	osrv := &httpwire.Server{Handler: origin,
+		Obs: obs.NewWireMetrics(origin.Obs(), "wire.server")}
+	go osrv.Serve(ol)
+	defer osrv.Close()
+
+	// Optional transparent volume center between proxy and origin.
+	upstream := ol.Addr().String()
+	if opt.center {
+		ctr := center.New(center.Config{
+			Clock:   clock,
+			Resolve: func(string) (string, error) { return ol.Addr().String(), nil },
+		})
+		defer ctr.Close()
+		cl := listen()
+		csrv := &httpwire.Server{Handler: ctr,
+			Obs: obs.NewWireMetrics(ctr.Obs(), "wire.server")}
+		go csrv.Serve(cl)
+		defer csrv.Close()
+		upstream = cl.Addr().String()
+	}
+
+	filter := core.Filter{MaxPiggy: opt.maxPiggy}
+	if !piggy {
+		filter = core.Filter{Disabled: true}
+	}
+	px := proxy.New(proxy.Config{
+		Delta: opt.delta, Clock: clock,
+		Resolve:    func(string) (string, error) { return upstream, nil },
+		BaseFilter: filter,
+		Prefetch:   opt.prefetch,
+	})
+	defer px.Close()
+	pl := listen()
+	psrv := &httpwire.Server{Handler: px,
+		Obs: obs.NewWireMetrics(px.Obs(), "wire.server")}
+	go psrv.Serve(pl)
+	defer psrv.Close()
+
+	mode := loadgen.Closed
+	if opt.mode == "open" {
+		mode = loadgen.Open
+	}
+	name := fmt.Sprintf("piggy=%s/workers=%d", onOff(piggy), workers)
+	fmt.Printf("running %-24s ... ", name)
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:      pl.Addr().String(),
+		Records:   workload,
+		Host:      host,
+		Mode:      mode,
+		Workers:   workers,
+		Think:     opt.think,
+		Rate:      opt.rate,
+		Requests:  opt.requests,
+		Warmup:    opt.warmup,
+		Seed:      opt.seed,
+		StatsAddr: pl.Addr().String(),
+	})
+	if err != nil {
+		log.Fatalf("loadtest: scenario %s: %v", name, err)
+	}
+	fmt.Printf("%6.0f req/s, p99 %s\n", rep.ThroughputRPS, ms(rep.P99us))
+
+	sc := scenario{Name: name, Piggyback: piggy, Workers: workers, Report: rep,
+		OriginRequests: int64(origin.Stats().Requests)}
+	if d := rep.StatsDelta; d != nil {
+		sc.ProxyPiggybacks = d.Counter("proxy.piggybacks_received")
+		sc.ProxyElements = d.Counter("proxy.piggyback_elements")
+		sc.ProxyRefreshes = d.Counter("proxy.refreshes")
+	}
+	return sc
+}
+
+func listen() net.Listener {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return l
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// ms renders microseconds as a millisecond string.
+func ms(us float64) string { return fmt.Sprintf("%.2f", us/1000) }
+
+func pctOrDash(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return metrics.Pct(v)
+}

@@ -68,7 +68,8 @@ func main() {
 		}()
 	}
 
-	srv := &piggyback.WireServer{Handler: px, ErrorLog: log.New(os.Stderr, "piggyproxy: ", 0)}
+	srv := &piggyback.WireServer{Handler: px, ErrorLog: log.New(os.Stderr, "piggyproxy: ", 0),
+		Obs: piggyback.NewWireMetrics(px.Obs(), "wire.server")}
 	go func() {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)

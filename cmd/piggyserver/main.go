@@ -39,7 +39,8 @@ func main() {
 	})
 	origin := piggyback.NewOriginServer(store, vols, func() int64 { return time.Now().Unix() })
 
-	srv := &piggyback.WireServer{Handler: origin, ErrorLog: log.New(os.Stderr, "piggyserver: ", 0)}
+	srv := &piggyback.WireServer{Handler: origin, ErrorLog: log.New(os.Stderr, "piggyserver: ", 0),
+		Obs: piggyback.NewWireMetrics(origin.Obs(), "wire.server")}
 	go handleSignals(func() { srv.Close() })
 
 	fmt.Printf("piggyserver: %d resources, %d-level volumes, listening on %s\n",

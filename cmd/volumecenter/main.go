@@ -66,7 +66,8 @@ func main() {
 		}()
 	}
 
-	srv := &piggyback.WireServer{Handler: ctr, ErrorLog: log.New(os.Stderr, "volumecenter: ", 0)}
+	srv := &piggyback.WireServer{Handler: ctr, ErrorLog: log.New(os.Stderr, "volumecenter: ", 0),
+		Obs: piggyback.NewWireMetrics(ctr.Obs(), "wire.server")}
 	go func() {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)

@@ -16,10 +16,10 @@ package center
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"piggyback/internal/core"
 	"piggyback/internal/httpwire"
+	"piggyback/internal/obs"
 )
 
 // Config parameterizes a Center.
@@ -53,9 +53,19 @@ type Center struct {
 	cfg    Config
 	vols   core.Provider
 	client *httpwire.Client
+	obs    *obs.Registry
+	c      centerCounters
+}
 
-	mu    sync.Mutex
-	stats Stats
+// centerCounters caches the registry's counter pointers so relaying does
+// pure atomic adds.
+type centerCounters struct {
+	relayed         *obs.Counter
+	piggybacksSent  *obs.Counter
+	piggybackElems  *obs.Counter
+	upstreamErrors  *obs.Counter
+	originPiggyback *obs.Counter
+	hitReports      *obs.Counter
 }
 
 // New returns a Center for cfg.
@@ -64,17 +74,37 @@ func New(cfg Config) *Center {
 	if vols == nil {
 		vols = core.NewDirVolumes(core.DirConfig{Level: 1, MTF: true, PartitionByType: true})
 	}
-	return &Center{cfg: cfg, vols: vols, client: httpwire.NewClient()}
+	reg := obs.NewRegistry()
+	ctr := &Center{cfg: cfg, vols: vols, client: httpwire.NewClient(), obs: reg,
+		c: centerCounters{
+			relayed:         reg.Counter("center.relayed"),
+			piggybacksSent:  reg.Counter("center.piggybacks_sent"),
+			piggybackElems:  reg.Counter("center.piggyback_elems"),
+			upstreamErrors:  reg.Counter("center.upstream_errors"),
+			originPiggyback: reg.Counter("center.origin_piggyback"),
+			hitReports:      reg.Counter("center.hit_reports"),
+		}}
+	ctr.client.Obs = obs.NewWireMetrics(reg, "wire.upstream")
+	return ctr
 }
 
 // Volumes returns the engine maintained by the center.
 func (c *Center) Volumes() core.Provider { return c.vols }
 
+// Obs returns the center's telemetry registry (also served live on
+// obs.StatsPath).
+func (c *Center) Obs() *obs.Registry { return c.obs }
+
 // Stats returns a snapshot of the counters.
 func (c *Center) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Relayed:         int(c.c.relayed.Load()),
+		PiggybacksSent:  int(c.c.piggybacksSent.Load()),
+		PiggybackElems:  int(c.c.piggybackElems.Load()),
+		UpstreamErrors:  int(c.c.upstreamErrors.Load()),
+		OriginPiggyback: int(c.c.originPiggyback.Load()),
+		HitReports:      int(c.c.hitReports.Load()),
+	}
 }
 
 // Close releases upstream connections.
@@ -101,6 +131,9 @@ func splitTarget(req *httpwire.Request) (host, path string, err error) {
 
 // ServeWire implements httpwire.Handler: relay, observe, inject.
 func (c *Center) ServeWire(req *httpwire.Request) *httpwire.Response {
+	if httpwire.IsStatsRequest(req) {
+		return httpwire.StatsResponse(c.obs)
+	}
 	now := c.cfg.Clock()
 	host, path, err := splitTarget(req)
 	if err != nil {
@@ -117,9 +150,7 @@ func (c *Center) ServeWire(req *httpwire.Request) *httpwire.Response {
 			c.vols.Observe(core.Access{Source: req.RemoteAddr, Time: hitTime,
 				Element: core.Element{URL: host + h}})
 		}
-		c.mu.Lock()
-		c.stats.HitReports += len(hits)
-		c.mu.Unlock()
+		c.c.hitReports.Add(int64(len(hits)))
 	}
 
 	// Forward upstream with the piggybacking headers stripped — the
@@ -143,9 +174,7 @@ func (c *Center) ServeWire(req *httpwire.Request) *httpwire.Response {
 		return httpwire.NewResponse(502)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Relayed++
+	c.c.relayed.Inc()
 
 	qualified := host + path
 	if resp.Status == 200 || resp.Status == 304 {
@@ -177,21 +206,17 @@ func (c *Center) ServeWire(req *httpwire.Request) *httpwire.Response {
 
 	if len(resp.Trailer) > 0 && resp.Trailer.Get(httpwire.FieldPVolume) != "" {
 		// A cooperating origin already piggybacked; pass it through.
-		c.stats.OriginPiggyback++
+		c.c.originPiggyback.Inc()
 		return out
 	}
 	if hasFilter && wantsTrailer {
 		if m, ok := c.vols.Piggyback(qualified, now, filter); ok {
 			httpwire.AttachPiggyback(out, m)
-			c.stats.PiggybacksSent++
-			c.stats.PiggybackElems += len(m.Elements)
+			c.c.piggybacksSent.Inc()
+			c.c.piggybackElems.Add(int64(len(m.Elements)))
 		}
 	}
 	return out
 }
 
-func (c *Center) countError() {
-	c.mu.Lock()
-	c.stats.UpstreamErrors++
-	c.mu.Unlock()
-}
+func (c *Center) countError() { c.c.upstreamErrors.Inc() }

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"piggyback/internal/obs"
 )
 
 // Handler responds to a request. Implementations must be safe for
@@ -34,6 +36,9 @@ type Server struct {
 	IdleTimeout time.Duration
 	// ErrorLog receives connection-level errors; nil discards them.
 	ErrorLog *log.Logger
+	// Obs, when non-nil, receives wire-level telemetry: per-request
+	// handle+write latency, exchange counts, and body bytes.
+	Obs *obs.WireMetrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -156,6 +161,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		req.RemoteAddr = conn.RemoteAddr().String()
+		start := time.Now()
 		resp := s.Handler.ServeWire(req)
 		if resp == nil {
 			resp = NewResponse(500)
@@ -168,8 +174,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			resp.Header.Set("Connection", "close")
 		}
 		if err := WriteResponse(bw, resp, req.Method == "HEAD"); err != nil {
+			if s.Obs != nil {
+				s.Obs.Errors.Inc()
+			}
 			s.logf("httpwire: write response to %s: %v", conn.RemoteAddr(), err)
 			return
+		}
+		if s.Obs != nil {
+			s.Obs.Requests.Inc()
+			s.Obs.BytesIn.Add(int64(len(req.Body)))
+			s.Obs.BytesOut.Add(int64(len(resp.Body)))
+			s.Obs.Latency.Observe(time.Since(start).Microseconds())
 		}
 		if close || resp.Header.WantsClose() {
 			return
@@ -185,6 +200,9 @@ type Client struct {
 	DialTimeout time.Duration
 	// RequestTimeout bounds one request/response exchange; zero = 30s.
 	RequestTimeout time.Duration
+	// Obs, when non-nil, receives wire-level telemetry: per-exchange
+	// round-trip latency, retries, dials, and body bytes.
+	Obs *obs.WireMetrics
 
 	mu    sync.Mutex
 	conns map[string]*clientConn
@@ -219,25 +237,44 @@ func (c *Client) requestTimeout() time.Duration {
 // connection. A request that fails on a reused connection (the server may
 // have timed it out) is retried once on a fresh connection.
 func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	start := time.Now()
 	cc, reused, err := c.conn(addr)
 	if err != nil {
+		if c.Obs != nil {
+			c.Obs.Errors.Inc()
+		}
 		return nil, err
 	}
 	resp, err := c.roundTrip(cc, addr, req)
 	if err != nil && reused {
+		if c.Obs != nil {
+			c.Obs.Retries.Inc()
+		}
 		c.drop(addr, cc)
 		cc, _, err = c.conn(addr)
 		if err != nil {
+			if c.Obs != nil {
+				c.Obs.Errors.Inc()
+			}
 			return nil, err
 		}
 		resp, err = c.roundTrip(cc, addr, req)
 	}
 	if err != nil {
 		c.drop(addr, cc)
+		if c.Obs != nil {
+			c.Obs.Errors.Inc()
+		}
 		return nil, err
 	}
 	if resp.Header.WantsClose() {
 		c.drop(addr, cc)
+	}
+	if c.Obs != nil {
+		c.Obs.Requests.Inc()
+		c.Obs.BytesOut.Add(int64(len(req.Body)))
+		c.Obs.BytesIn.Add(int64(len(resp.Body)))
+		c.Obs.Latency.Observe(time.Since(start).Microseconds())
 	}
 	return resp, nil
 }
@@ -270,6 +307,9 @@ func (c *Client) conn(addr string) (*clientConn, bool, error) {
 	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
 	if err != nil {
 		return nil, false, err
+	}
+	if c.Obs != nil {
+		c.Obs.Dials.Inc()
 	}
 	cc := &clientConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 	c.mu.Lock()

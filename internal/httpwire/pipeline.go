@@ -20,6 +20,7 @@ func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	start := time.Now()
 	cc, reused, err := c.conn(addr)
 	if err != nil {
 		return nil, err
@@ -37,6 +38,9 @@ func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 	}
 	if err != nil {
 		c.drop(addr, cc)
+		if c.Obs != nil {
+			c.Obs.Errors.Inc()
+		}
 		return resps, err
 	}
 	for _, r := range resps {
@@ -44,6 +48,16 @@ func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 			c.drop(addr, cc)
 			break
 		}
+	}
+	if c.Obs != nil {
+		// The batch shares one wire round trip, so it contributes one
+		// latency sample; counts and bytes are per exchange.
+		c.Obs.Requests.Add(int64(len(resps)))
+		for i, r := range resps {
+			c.Obs.BytesOut.Add(int64(len(reqs[i].Body)))
+			c.Obs.BytesIn.Add(int64(len(r.Body)))
+		}
+		c.Obs.Latency.Observe(time.Since(start).Microseconds())
 	}
 	return resps, nil
 }

@@ -1,0 +1,388 @@
+// Package loadgen is a concurrent workload driver for the live
+// server/proxy/center stack: it replays tracegen-style access logs against
+// real loopback sockets and reports end-to-end throughput and latency
+// percentiles. Two modes:
+//
+//   - Closed loop: N workers, each with its own persistent connection,
+//     issuing the next request when the previous response (plus optional
+//     think time) completes — models a fixed client population.
+//   - Open loop: arrivals paced at a target request rate with a bounded
+//     number in flight — models offered load independent of service time;
+//     arrivals that find every slot busy are shed and counted, so an
+//     overloaded stack degrades visibly instead of silently back-pressuring
+//     the generator.
+//
+// Each worker reuses one persistent connection (reconnect handling comes
+// from httpwire.Client's retry-on-stale-connection logic). The first
+// Warmup completions are excluded from the measured window, and if
+// StatsAddr is set the driver snapshots the target's /.piggy/stats
+// endpoint around the run so the report can attribute proxy cache hits and
+// piggyback traffic to this workload.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piggyback/internal/httpwire"
+	"piggyback/internal/obs"
+	"piggyback/internal/trace"
+)
+
+// Mode selects the load-generation discipline.
+type Mode int
+
+const (
+	// Closed runs a fixed worker population with think time.
+	Closed Mode = iota
+	// Open paces arrivals at a target rate with bounded in-flight.
+	Open
+)
+
+// String returns "closed" or "open".
+func (m Mode) String() string {
+	if m == Open {
+		return "open"
+	}
+	return "closed"
+}
+
+// Config parameterizes a load run.
+type Config struct {
+	// Addr is the target address ("host:port"), usually the proxy.
+	Addr string
+	// Records is the workload; each GET record contributes its URL.
+	// Server-relative URLs are qualified with Host (absolute-URI proxy
+	// form).
+	Records trace.Log
+	// Host names the origin site in request URLs; empty means
+	// "www.load.test".
+	Host string
+	// Mode selects closed or open loop.
+	Mode Mode
+	// Workers is the closed-loop population, and the in-flight bound in
+	// open loop; zero means 8.
+	Workers int
+	// Think is the mean think time between a closed-loop worker's
+	// requests (exponentially distributed); zero means none.
+	Think time.Duration
+	// Rate is the open-loop arrival rate in requests/second. Required
+	// when Mode is Open.
+	Rate float64
+	// Requests is the total to issue, cycling over Records; zero means
+	// one pass over Records.
+	Requests int
+	// Warmup is the number of leading completions excluded from the
+	// measured window (cache fill, connection establishment).
+	Warmup int
+	// Seed makes think times and any per-worker jitter reproducible.
+	Seed int64
+	// StatsAddr, when set, is polled for /.piggy/stats snapshots before
+	// and after the run (normally Addr itself).
+	StatsAddr string
+	// RequestTimeout bounds one exchange; zero uses the client default.
+	RequestTimeout time.Duration
+}
+
+func (cfg *Config) fillDefaults() error {
+	if cfg.Addr == "" {
+		return fmt.Errorf("loadgen: Addr is required")
+	}
+	if len(cfg.Records) == 0 {
+		return fmt.Errorf("loadgen: empty workload")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Host == "" {
+		cfg.Host = "www.load.test"
+	}
+	if cfg.Mode == Open && cfg.Rate <= 0 {
+		return fmt.Errorf("loadgen: open loop requires Rate > 0")
+	}
+	return nil
+}
+
+// Report is the outcome of one load run. Latencies are microseconds,
+// estimated from a fixed-bucket histogram (exact min/max).
+type Report struct {
+	Mode     string  `json:"mode"`
+	Workers  int     `json:"workers"`
+	Rate     float64 `json:"rate_rps,omitempty"` // open loop target
+	Requests int64   `json:"requests"`           // completed exchanges
+	Errors   int64   `json:"errors"`
+	Dropped  int64   `json:"dropped"`  // open loop: arrivals shed at the in-flight bound
+	Warmup   int64   `json:"warmup"`   // completions excluded from the window
+	Measured int64   `json:"measured"` // latency samples in the window
+	ElapsedS float64 `json:"elapsed_s"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50us         float64 `json:"p50_us"`
+	P90us         float64 `json:"p90_us"`
+	P99us         float64 `json:"p99_us"`
+	MaxUs         int64   `json:"max_us"`
+	MeanUs        float64 `json:"mean_us"`
+	BytesIn       int64   `json:"bytes_in"`
+
+	// CacheHits counts X-Cache: HIT responses in the measured window;
+	// HitRatio is their share of measured completions.
+	CacheHits int64   `json:"cache_hits"`
+	HitRatio  float64 `json:"hit_ratio"`
+
+	// ProxyHitRatio is fresh_hits/client_requests from the stats
+	// endpoint over the whole run; -1 when StatsAddr was not set or the
+	// endpoint was unreachable. StatsDelta holds the full windowed
+	// snapshot for deeper digging.
+	ProxyHitRatio float64       `json:"proxy_hit_ratio"`
+	StatsDelta    *obs.Snapshot `json:"stats_delta,omitempty"`
+
+	Latency obs.HistSnapshot `json:"-"`
+}
+
+// run carries the shared mutable state of one load run.
+type run struct {
+	cfg       Config
+	urls      []string
+	total     int64
+	issued    atomic.Int64
+	completed atomic.Int64
+	errors    atomic.Int64
+	dropped   atomic.Int64
+	bytesIn   atomic.Int64
+	cacheHits atomic.Int64
+	measStart atomic.Int64 // UnixNano of the warmup boundary
+	hist      *obs.Histogram
+}
+
+// Run executes the configured workload and returns its report.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	r := &run{
+		cfg:  cfg,
+		urls: targets(cfg.Records, cfg.Host),
+		hist: obs.NewHistogram(obs.LatencyBuckets()),
+	}
+	if len(r.urls) == 0 {
+		return nil, fmt.Errorf("loadgen: workload has no GET records")
+	}
+	r.total = int64(cfg.Requests)
+	if r.total <= 0 {
+		r.total = int64(len(r.urls))
+	}
+	if int64(cfg.Warmup) >= r.total {
+		return nil, fmt.Errorf("loadgen: warmup %d >= total requests %d", cfg.Warmup, r.total)
+	}
+
+	var statsBefore obs.Snapshot
+	haveStats := false
+	if cfg.StatsAddr != "" {
+		if s, err := FetchStats(cfg.StatsAddr); err == nil {
+			statsBefore, haveStats = s, true
+		}
+	}
+
+	start := time.Now()
+	if cfg.Warmup == 0 {
+		r.measStart.Store(start.UnixNano())
+	}
+	if cfg.Mode == Open {
+		r.runOpen()
+	} else {
+		r.runClosed()
+	}
+	end := time.Now()
+
+	rep := r.report(end)
+	if haveStats {
+		if after, err := FetchStats(cfg.StatsAddr); err == nil {
+			delta := after.Sub(statsBefore)
+			rep.StatsDelta = &delta
+			rep.ProxyHitRatio = proxyHitRatio(delta)
+		}
+	}
+	return rep, nil
+}
+
+// targets renders the workload's GET records as request URLs.
+func targets(records trace.Log, host string) []string {
+	urls := make([]string, 0, len(records))
+	for i := range records {
+		rec := &records[i]
+		if rec.Method != "" && rec.Method != "GET" {
+			continue
+		}
+		if strings.HasPrefix(rec.URL, "http://") {
+			urls = append(urls, rec.URL)
+			continue
+		}
+		u := rec.URL
+		if !strings.HasPrefix(u, "/") {
+			u = "/" + u
+		}
+		urls = append(urls, "http://"+host+u)
+	}
+	return urls
+}
+
+// exchange issues one request and records its outcome. It returns false on
+// error (the caller's loop continues either way; pacing is unaffected).
+func (r *run) exchange(client *httpwire.Client, n int64) bool {
+	url := r.urls[(n-1)%int64(len(r.urls))]
+	t0 := time.Now()
+	resp, err := client.Do(r.cfg.Addr, httpwire.NewRequest("GET", url))
+	if err != nil {
+		r.errors.Add(1)
+		return false
+	}
+	lat := time.Since(t0)
+	done := r.completed.Add(1)
+	warm := int64(r.cfg.Warmup)
+	switch {
+	case done == warm:
+		// Last warmup completion opens the measured window.
+		r.measStart.Store(time.Now().UnixNano())
+	case done > warm:
+		r.hist.Observe(lat.Microseconds())
+		r.bytesIn.Add(int64(len(resp.Body)))
+		if resp.Header.Get("X-Cache") == "HIT" {
+			r.cacheHits.Add(1)
+		}
+	}
+	return true
+}
+
+func (r *run) newClient() *httpwire.Client {
+	c := httpwire.NewClient()
+	c.RequestTimeout = r.cfg.RequestTimeout
+	return c
+}
+
+// runClosed runs the fixed worker population.
+func (r *run) runClosed() {
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := r.newClient()
+			defer client.Close()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
+			for {
+				n := r.issued.Add(1)
+				if n > r.total {
+					return
+				}
+				r.exchange(client, n)
+				if r.cfg.Think > 0 {
+					time.Sleep(time.Duration(rng.ExpFloat64() * float64(r.cfg.Think)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen paces arrivals at cfg.Rate. The in-flight bound doubles as a
+// connection pool: a channel of clients is the semaphore, so each
+// concurrent exchange rides its own persistent connection.
+func (r *run) runOpen() {
+	slots := make(chan *httpwire.Client, r.cfg.Workers)
+	for i := 0; i < r.cfg.Workers; i++ {
+		slots <- r.newClient()
+	}
+	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
+	var wg sync.WaitGroup
+	next := time.Now()
+	for n := int64(1); n <= r.total; n++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		select {
+		case client := <-slots:
+			wg.Add(1)
+			go func(client *httpwire.Client, n int64) {
+				defer wg.Done()
+				r.exchange(client, n)
+				slots <- client
+			}(client, n)
+		default:
+			// Every slot busy: shed the arrival (open-loop overload).
+			r.dropped.Add(1)
+		}
+	}
+	wg.Wait()
+	close(slots)
+	for client := range slots {
+		client.Close()
+	}
+}
+
+func (r *run) report(end time.Time) *Report {
+	lat := r.hist.Snapshot()
+	elapsed := end.Sub(time.Unix(0, r.measStart.Load())).Seconds()
+	rep := &Report{
+		Mode:          r.cfg.Mode.String(),
+		Workers:       r.cfg.Workers,
+		Requests:      r.completed.Load(),
+		Errors:        r.errors.Load(),
+		Dropped:       r.dropped.Load(),
+		Warmup:        int64(r.cfg.Warmup),
+		Measured:      lat.Count,
+		ElapsedS:      elapsed,
+		P50us:         lat.Quantile(0.50),
+		P90us:         lat.Quantile(0.90),
+		P99us:         lat.Quantile(0.99),
+		MaxUs:         lat.Max,
+		MeanUs:        lat.Mean(),
+		BytesIn:       r.bytesIn.Load(),
+		CacheHits:     r.cacheHits.Load(),
+		ProxyHitRatio: -1,
+		Latency:       lat,
+	}
+	if r.cfg.Mode == Open {
+		rep.Rate = r.cfg.Rate
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(lat.Count) / elapsed
+	}
+	if lat.Count > 0 {
+		rep.HitRatio = float64(rep.CacheHits) / float64(lat.Count)
+	}
+	if lat.Count == 0 {
+		// NaN quantiles don't survive JSON encoding.
+		rep.P50us, rep.P90us, rep.P99us, rep.MeanUs = 0, 0, 0, 0
+	}
+	return rep
+}
+
+// FetchStats retrieves and parses the live telemetry snapshot from the
+// obs.StatsPath endpoint at addr.
+func FetchStats(addr string) (obs.Snapshot, error) {
+	client := httpwire.NewClient()
+	defer client.Close()
+	resp, err := client.Do(addr, httpwire.NewRequest("GET", obs.StatsPath))
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if resp.Status != 200 {
+		return obs.Snapshot{}, fmt.Errorf("loadgen: stats endpoint returned %d", resp.Status)
+	}
+	return obs.ParseSnapshot(resp.Body)
+}
+
+// proxyHitRatio derives the proxy's fresh-hit ratio from a windowed stats
+// snapshot, or -1 when the window saw no client requests.
+func proxyHitRatio(delta obs.Snapshot) float64 {
+	reqs := delta.Counter("proxy.client_requests")
+	if reqs <= 0 {
+		return -1
+	}
+	return float64(delta.Counter("proxy.fresh_hits")) / float64(reqs)
+}

@@ -1,0 +1,232 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"piggyback/internal/core"
+	"piggyback/internal/httpwire"
+	"piggyback/internal/obs"
+	"piggyback/internal/proxy"
+	"piggyback/internal/server"
+	"piggyback/internal/trace"
+)
+
+// testStack is a live origin + proxy pair on loopback.
+type testStack struct {
+	origin *server.Server
+	proxy  *proxy.Proxy
+	// ProxyAddr is what clients hit.
+	ProxyAddr string
+}
+
+func newTestStack(t testing.TB, nRes int) *testStack {
+	t.Helper()
+	clock := func() int64 { return time.Now().Unix() }
+	st := server.NewStore()
+	for i := 0; i < nRes; i++ {
+		st.Put(server.Resource{
+			URL: fmt.Sprintf("/a/r%03d.html", i), Size: 1500,
+			LastModified: time.Now().Unix() - 86400,
+		})
+	}
+	vols := core.NewDirVolumes(core.DirConfig{Level: 1, MTF: true, ServerMaxPiggy: 10})
+	origin := server.New(st, vols, clock)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	osrv := &httpwire.Server{Handler: origin}
+	go osrv.Serve(ol)
+	t.Cleanup(func() { osrv.Close() })
+
+	px := proxy.New(proxy.Config{
+		Delta: 3600, Clock: clock,
+		Resolve:    func(string) (string, error) { return ol.Addr().String(), nil },
+		BaseFilter: core.Filter{MaxPiggy: 10},
+	})
+	t.Cleanup(px.Close)
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv := &httpwire.Server{Handler: px}
+	go psrv.Serve(pl)
+	t.Cleanup(func() { psrv.Close() })
+
+	return &testStack{origin: origin, proxy: px, ProxyAddr: pl.Addr().String()}
+}
+
+// workload builds a log cycling over nRes resources.
+func workload(n, nRes int) trace.Log {
+	log := make(trace.Log, n)
+	for i := range log {
+		log[i] = trace.Record{Method: "GET", URL: fmt.Sprintf("/a/r%03d.html", i%nRes)}
+	}
+	return log
+}
+
+func TestTargets(t *testing.T) {
+	log := trace.Log{
+		{Method: "GET", URL: "/x.html"},
+		{Method: "POST", URL: "/cgi"},
+		{Method: "GET", URL: "http://other.example/y.html"},
+		{Method: "", URL: "z.html"},
+	}
+	got := targets(log, "www.h.test")
+	want := []string{
+		"http://www.h.test/x.html",
+		"http://other.example/y.html",
+		"http://www.h.test/z.html",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("targets[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := Run(Config{Addr: "x", Records: workload(4, 2), Mode: Open}); err == nil {
+		t.Error("open loop without rate should fail")
+	}
+	if _, err := Run(Config{Addr: "x", Records: workload(4, 2), Warmup: 10}); err == nil {
+		t.Error("warmup >= total should fail")
+	}
+}
+
+// TestClosedLoopE2E drives the full server→proxy stack and cross-checks
+// the client-side report against the proxy's live stats endpoint — the
+// acceptance criterion that the /.piggy/stats counters match the load
+// report.
+func TestClosedLoopE2E(t *testing.T) {
+	const nRes, total, warm = 20, 300, 40
+	ts := newTestStack(t, nRes)
+	rep, err := Run(Config{
+		Addr:      ts.ProxyAddr,
+		Records:   workload(total, nRes),
+		Mode:      Closed,
+		Workers:   4,
+		Requests:  total,
+		Warmup:    warm,
+		StatsAddr: ts.ProxyAddr,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, report %+v", rep.Errors, rep)
+	}
+	if rep.Requests != total {
+		t.Errorf("requests = %d, want %d", rep.Requests, total)
+	}
+	if rep.Measured != total-warm {
+		t.Errorf("measured = %d, want %d", rep.Measured, total-warm)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", rep.ThroughputRPS)
+	}
+	if !(rep.P50us > 0 && rep.P50us <= rep.P99us && rep.P99us <= float64(rep.MaxUs)) {
+		t.Errorf("latency ordering broken: p50=%v p99=%v max=%v", rep.P50us, rep.P99us, rep.MaxUs)
+	}
+
+	// 20 resources cycled 300 times through a big fresh cache: almost
+	// everything after the first pass is a fresh hit.
+	if rep.HitRatio < 0.8 {
+		t.Errorf("client-side hit ratio = %v, want > 0.8", rep.HitRatio)
+	}
+
+	// Live stats endpoint must agree with the load report.
+	ps := ts.proxy.Stats()
+	if ps.ClientRequests != total {
+		t.Errorf("proxy saw %d requests, report says %d", ps.ClientRequests, total)
+	}
+	if rep.ProxyHitRatio < 0 {
+		t.Fatal("stats endpoint delta missing")
+	}
+	wholeRun := float64(ps.FreshHits) / float64(ps.ClientRequests)
+	if diff := rep.ProxyHitRatio - wholeRun; diff > 0.01 || diff < -0.01 {
+		t.Errorf("stats-delta hit ratio %v != whole-run %v", rep.ProxyHitRatio, wholeRun)
+	}
+	// The windowed endpoint ratio covers warmup (cache fill), so it lags
+	// the client-side measured-window ratio, but both must be high here.
+	if rep.ProxyHitRatio < 0.7 {
+		t.Errorf("proxy hit ratio = %v, want > 0.7", rep.ProxyHitRatio)
+	}
+	if rep.StatsDelta.Counter("proxy.client_requests") != int64(total) {
+		t.Errorf("stats delta client_requests = %d, want %d",
+			rep.StatsDelta.Counter("proxy.client_requests"), total)
+	}
+}
+
+// TestOpenLoop paces arrivals against a trivial origin-only stack.
+func TestOpenLoop(t *testing.T) {
+	ts := newTestStack(t, 5)
+	rep, err := Run(Config{
+		Addr:     ts.ProxyAddr,
+		Records:  workload(100, 5),
+		Mode:     Open,
+		Workers:  4,
+		Rate:     2000,
+		Requests: 100,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.Rate != 2000 {
+		t.Errorf("mode/rate = %v/%v", rep.Mode, rep.Rate)
+	}
+	if rep.Requests+rep.Dropped+rep.Errors != 100 {
+		t.Errorf("requests %d + dropped %d + errors %d != 100",
+			rep.Requests, rep.Dropped, rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Error("no requests completed")
+	}
+}
+
+// TestWarmupExclusion pins the warmup boundary arithmetic.
+func TestWarmupExclusion(t *testing.T) {
+	ts := newTestStack(t, 3)
+	rep, err := Run(Config{
+		Addr: ts.ProxyAddr, Records: workload(30, 3),
+		Workers: 1, Requests: 30, Warmup: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warmup != 10 || rep.Measured != 20 || rep.Requests != 30 {
+		t.Errorf("warmup/measured/requests = %d/%d/%d", rep.Warmup, rep.Measured, rep.Requests)
+	}
+	// Single worker, 3 resources, warmup 10 > first pass: every measured
+	// request is a cache hit.
+	if rep.HitRatio != 1 {
+		t.Errorf("hit ratio = %v, want 1 after warmup", rep.HitRatio)
+	}
+}
+
+func TestFetchStatsDirectFromServer(t *testing.T) {
+	ts := newTestStack(t, 2)
+	// The proxy answers the origin-form stats path itself.
+	s, err := FetchStats(ts.ProxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Counters["proxy.client_requests"]; !ok {
+		t.Errorf("proxy snapshot missing client_requests: %v", s.Counters)
+	}
+	if _, ok := s.Hist("wire.upstream.latency_us"); !ok {
+		t.Error("proxy snapshot missing upstream wire histogram")
+	}
+	_ = obs.StatsPath
+}

@@ -10,9 +10,11 @@ import (
 	"strings"
 )
 
-// Quantile returns the q-quantile (0 <= q <= 1) of xs by the nearest-rank
-// method. xs need not be sorted; it is not modified. An empty slice yields
-// NaN.
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation between the two order statistics straddling rank
+// q*(n-1) — the "R-7" estimator — so e.g. the 0.25-quantile of
+// {10,20,30,40} is 17.5, not an element of xs. xs need not be sorted; it
+// is not modified. An empty slice yields NaN.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()

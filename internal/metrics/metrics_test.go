@@ -39,6 +39,28 @@ func TestQuantileInterpolates(t *testing.T) {
 	}
 }
 
+// TestQuantileNotNearestRank pins the estimator: rank q*(n-1) with linear
+// interpolation between straddling order statistics, NOT nearest-rank
+// (which would always return an element of xs).
+func TestQuantileNotNearestRank(t *testing.T) {
+	xs := []float64{40, 10, 30, 20} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 17.5}, {0.5, 25}, {0.75, 32.5}, {0.9, 37}, {1, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Nearest-rank of q=0.25 over 4 samples would be 10; interpolation
+	// gives a value not present in xs at all.
+	for _, x := range xs {
+		if Quantile(xs, 0.25) == x {
+			t.Errorf("Quantile(0.25) = %v is an element of xs; nearest-rank behaviour", x)
+		}
+	}
+}
+
 func TestMean(t *testing.T) {
 	if got := Mean([]float64{1, 2, 3}); got != 2 {
 		t.Errorf("Mean = %v", got)

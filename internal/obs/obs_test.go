@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 2} // (<=10), (10,100], overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 || s.Sum != 1+10+11+100+101+5000 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if s.Min != 1 || s.Max != 5000 {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	s := NewHistogram([]int64{10}).Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) {
+		t.Error("empty quantile/mean should be NaN")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 300, 400})
+	// 100 uniform observations in (0, 400]: quantiles should land within
+	// one bucket width of the exact value.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i * 4))
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 200}, {0.9, 360}, {0.99, 396},
+	} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 100 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	if got := s.Quantile(0); got != 4 {
+		t.Errorf("Quantile(0) = %v, want exact min 4", got)
+	}
+	if got := s.Quantile(1); got != 400 {
+		t.Errorf("Quantile(1) = %v, want exact max 400", got)
+	}
+}
+
+func TestHistogramQuantileClampsToObserved(t *testing.T) {
+	h := NewHistogram([]int64{1000})
+	h.Observe(400)
+	h.Observe(500)
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got < 400 || got > 500 {
+		t.Errorf("Quantile(0.99) = %v, want within observed [400, 500]", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]int64{10, 100})
+	b := NewHistogram([]int64{10, 100})
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(500)
+	m, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 3 || m.Min != 5 || m.Max != 500 || m.Sum != 555 {
+		t.Errorf("merged = %+v", m)
+	}
+	if _, err := a.Snapshot().Merge(NewHistogram([]int64{7}).Snapshot()); err == nil {
+		t.Error("merge with different bounds should fail")
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	h.Observe(5)
+	before := h.Snapshot()
+	h.Observe(50)
+	h.Observe(60)
+	win := h.Snapshot().Sub(before)
+	if win.Count != 2 || win.Sum != 110 {
+		t.Errorf("window = %+v", win)
+	}
+	if win.Counts[0] != 0 || win.Counts[1] != 2 {
+		t.Errorf("window counts = %v", win.Counts)
+	}
+}
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.requests").Add(7)
+	r.Histogram("a.latency_us", LatencyBuckets()).Observe(123)
+	if r.Counter("a.requests") != r.Counter("a.requests") {
+		t.Fatal("Counter not idempotent")
+	}
+	s := r.Snapshot()
+	if s.Counter("a.requests") != 7 {
+		t.Errorf("counter = %d", s.Counter("a.requests"))
+	}
+	h, ok := s.Hist("a.latency_us")
+	if !ok || h.Count != 1 {
+		t.Errorf("hist = %+v ok=%v", h, ok)
+	}
+
+	parsed, err := ParseSnapshot(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Counter("a.requests") != 7 {
+		t.Errorf("parsed counter = %d", parsed.Counter("a.requests"))
+	}
+	ph, _ := parsed.Hist("a.latency_us")
+	if ph.Count != 1 || ph.Min != 123 || ph.Max != 123 {
+		t.Errorf("parsed hist = %+v", ph)
+	}
+}
+
+func TestSnapshotSubAndMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(3)
+	before := r.Snapshot()
+	r.Counter("x").Add(4)
+	r.Counter("y").Inc()
+	win := r.Snapshot().Sub(before)
+	if win.Counter("x") != 4 || win.Counter("y") != 1 {
+		t.Errorf("window = %+v", win.Counters)
+	}
+	m := win.Merge(before)
+	if m.Counter("x") != 7 {
+		t.Errorf("merged x = %d", m.Counter("x"))
+	}
+}
+
+func TestWireMetricsNames(t *testing.T) {
+	r := NewRegistry()
+	w := NewWireMetrics(r, "wire.server")
+	w.Requests.Inc()
+	w.Latency.Observe(99)
+	s := r.Snapshot()
+	if s.Counter("wire.server.requests") != 1 {
+		t.Error("requests counter not registered under prefix")
+	}
+	if h, ok := s.Hist("wire.server.latency_us"); !ok || h.Count != 1 {
+		t.Error("latency histogram not registered under prefix")
+	}
+}
+
+// TestConcurrentObserve exercises the lock-free paths under the race
+// detector: concurrent counter adds, histogram observations, and
+// snapshots.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("reqs")
+			h := r.Histogram("lat", LatencyBuckets())
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(w*per + i + 1))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counter("reqs") != workers*per {
+		t.Errorf("reqs = %d, want %d", s.Counter("reqs"), workers*per)
+	}
+	h, _ := s.Hist("lat")
+	if h.Count != workers*per || h.Min != 1 || h.Max != workers*per {
+		t.Errorf("hist = count %d min %d max %d", h.Count, h.Min, h.Max)
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Count {
+		t.Errorf("bucket sum %d != count %d", sum, h.Count)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"piggyback/internal/core"
 	"piggyback/internal/delta"
 	"piggyback/internal/httpwire"
+	"piggyback/internal/obs"
 )
 
 // Config parameterizes a Proxy.
@@ -98,11 +99,32 @@ type Proxy struct {
 	rpv    *core.RPVTable
 	fresh  *FreshnessEstimator
 	queue  *InformedQueue
+	obs    *obs.Registry
+	c      proxyCounters
 
 	mu          sync.Mutex
 	cache       *cache.Cache
-	stats       Stats
 	pendingHits map[string][]string // host -> cache-hit paths to report
+}
+
+// proxyCounters caches the registry's counter pointers: stat updates are
+// single atomic adds, outside the cache mutex.
+type proxyCounters struct {
+	clientRequests     *obs.Counter
+	freshHits          *obs.Counter
+	validations        *obs.Counter
+	notModified        *obs.Counter
+	missFetches        *obs.Counter
+	piggybacksReceived *obs.Counter
+	piggybackElements  *obs.Counter
+	refreshes          *obs.Counter
+	invalidations      *obs.Counter
+	prefetches         *obs.Counter
+	usefulPrefetches   *obs.Counter
+	hitsReported       *obs.Counter
+	deltaUpdates       *obs.Counter
+	deltaBytesSaved    *obs.Counter
+	upstreamErrors     *obs.Counter
 }
 
 // New returns a Proxy for cfg.
@@ -127,6 +149,7 @@ func New(cfg Config) *Proxy {
 	if cfg.MaxDelta <= 0 {
 		cfg.MaxDelta = cfg.Delta * 24
 	}
+	reg := obs.NewRegistry()
 	p := &Proxy{
 		cfg:         cfg,
 		client:      httpwire.NewClient(),
@@ -134,7 +157,28 @@ func New(cfg Config) *Proxy {
 		cache:       cache.New(cfg.CacheBytes, cfg.Policy),
 		queue:       NewInformedQueue(),
 		pendingHits: make(map[string][]string),
+		obs:         reg,
+		c: proxyCounters{
+			clientRequests:     reg.Counter("proxy.client_requests"),
+			freshHits:          reg.Counter("proxy.fresh_hits"),
+			validations:        reg.Counter("proxy.validations"),
+			notModified:        reg.Counter("proxy.not_modified"),
+			missFetches:        reg.Counter("proxy.miss_fetches"),
+			piggybacksReceived: reg.Counter("proxy.piggybacks_received"),
+			piggybackElements:  reg.Counter("proxy.piggyback_elements"),
+			refreshes:          reg.Counter("proxy.refreshes"),
+			invalidations:      reg.Counter("proxy.invalidations"),
+			prefetches:         reg.Counter("proxy.prefetches"),
+			usefulPrefetches:   reg.Counter("proxy.useful_prefetches"),
+			hitsReported:       reg.Counter("proxy.hits_reported"),
+			deltaUpdates:       reg.Counter("proxy.delta_updates"),
+			deltaBytesSaved:    reg.Counter("proxy.delta_bytes_saved"),
+			upstreamErrors:     reg.Counter("proxy.upstream_errors"),
+		},
 	}
+	// The upstream client's wire metrics (round-trip latency, retries,
+	// dials) land in the same registry under wire.upstream.*.
+	p.client.Obs = obs.NewWireMetrics(reg, "wire.upstream")
 	if cfg.AdaptiveFreshness {
 		p.fresh = NewFreshnessEstimator(cfg.Delta, cfg.MinDelta, cfg.MaxDelta)
 	}
@@ -143,10 +187,28 @@ func New(cfg Config) *Proxy {
 
 // Stats returns a snapshot of the counters.
 func (p *Proxy) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		ClientRequests:     int(p.c.clientRequests.Load()),
+		FreshHits:          int(p.c.freshHits.Load()),
+		Validations:        int(p.c.validations.Load()),
+		NotModified:        int(p.c.notModified.Load()),
+		MissFetches:        int(p.c.missFetches.Load()),
+		PiggybacksReceived: int(p.c.piggybacksReceived.Load()),
+		PiggybackElements:  int(p.c.piggybackElements.Load()),
+		Refreshes:          int(p.c.refreshes.Load()),
+		Invalidations:      int(p.c.invalidations.Load()),
+		Prefetches:         int(p.c.prefetches.Load()),
+		UsefulPrefetches:   int(p.c.usefulPrefetches.Load()),
+		HitsReported:       int(p.c.hitsReported.Load()),
+		DeltaUpdates:       int(p.c.deltaUpdates.Load()),
+		DeltaBytesSaved:    p.c.deltaBytesSaved.Load(),
+		UpstreamErrors:     int(p.c.upstreamErrors.Load()),
+	}
 }
+
+// Obs returns the proxy's telemetry registry (also served live on
+// obs.StatsPath).
+func (p *Proxy) Obs() *obs.Registry { return p.obs }
 
 // CacheHitRate returns the cache's hit rate.
 func (p *Proxy) CacheHitRate() float64 {
@@ -188,6 +250,9 @@ func splitTarget(req *httpwire.Request) (host, path string, err error) {
 
 // ServeWire implements httpwire.Handler.
 func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
+	if httpwire.IsStatsRequest(req) {
+		return httpwire.StatsResponse(p.obs)
+	}
 	now := p.cfg.Clock()
 	host, path, err := splitTarget(req)
 	if err != nil || req.Method != "GET" {
@@ -198,16 +263,16 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 	}
 	key := host + path
 
+	p.c.clientRequests.Inc()
 	p.mu.Lock()
-	p.stats.ClientRequests++
 	entry, hit := p.cache.Get(key, now)
 	if hit && entry.Fresh(now) {
 		resp := p.serveEntry(entry)
 		if entry.Prefetched {
 			entry.Prefetched = false
-			p.stats.UsefulPrefetches++
+			p.c.usefulPrefetches.Inc()
 		}
-		p.stats.FreshHits++
+		p.c.freshHits.Inc()
 		if p.cfg.ReportHits {
 			hits := p.pendingHits[host]
 			if len(hits) < 32 {
@@ -223,7 +288,7 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 		cachedLM = entry.LastModified
 		if entry.Prefetched {
 			entry.Prefetched = false
-			p.stats.UsefulPrefetches++
+			p.c.usefulPrefetches.Inc()
 		}
 	}
 	filter := p.cfg.BaseFilter
@@ -232,7 +297,7 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 	if p.cfg.ReportHits {
 		reportHits = p.pendingHits[host]
 		delete(p.pendingHits, host)
-		p.stats.HitsReported += len(reportHits)
+		p.c.hitsReported.Add(int64(len(reportHits)))
 	}
 	p.mu.Unlock()
 
@@ -274,13 +339,13 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 			// A malformed delta falls back to a plain refetch next
 			// time; serve the stale copy rather than failing the
 			// client.
-			p.stats.UpstreamErrors++
+			p.c.upstreamErrors.Inc()
 			out = p.serveEntry(entry)
 			break
 		}
-		p.stats.Validations++
-		p.stats.DeltaUpdates++
-		p.stats.DeltaBytesSaved += int64(len(newBody) - len(resp.Body))
+		p.c.validations.Inc()
+		p.c.deltaUpdates.Inc()
+		p.c.deltaBytesSaved.Add(int64(len(newBody) - len(resp.Body)))
 		e := cache.Entry{
 			URL:          key,
 			Size:         int64(len(newBody)),
@@ -299,15 +364,15 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 			out.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lm))
 		}
 	case resp.Status == 304 && hit:
-		p.stats.Validations++
-		p.stats.NotModified++
+		p.c.validations.Inc()
+		p.c.notModified.Inc()
 		p.cache.Freshen(key, now+p.delta(key))
 		out = p.serveEntry(entry)
 	case resp.Status == 200:
 		if hit {
-			p.stats.Validations++
+			p.c.validations.Inc()
 		} else {
-			p.stats.MissFetches++
+			p.c.missFetches.Inc()
 		}
 		lm, _ := resp.LastModified()
 		e := cache.Entry{
@@ -370,11 +435,7 @@ func (p *Proxy) serveEntry(e *cache.Entry) *httpwire.Response {
 	return resp
 }
 
-func (p *Proxy) countUpstreamError() {
-	p.mu.Lock()
-	p.stats.UpstreamErrors++
-	p.mu.Unlock()
-}
+func (p *Proxy) countUpstreamError() { p.c.upstreamErrors.Inc() }
 
 // delta returns the freshness interval for key.
 func (p *Proxy) delta(key string) int64 {
@@ -389,8 +450,8 @@ func (p *Proxy) delta(key string) int64 {
 // entries for replacement, queue prefetches, and feed the freshness
 // estimator. Caller holds p.mu.
 func (p *Proxy) processPiggyback(host string, m core.Message, now int64) {
-	p.stats.PiggybacksReceived++
-	p.stats.PiggybackElements += len(m.Elements)
+	p.c.piggybacksReceived.Inc()
+	p.c.piggybackElements.Add(int64(len(m.Elements)))
 	p.rpv.Note(host, m.Volume, now)
 	for _, el := range m.Elements {
 		// A transparent volume center may piggyback host-qualified
@@ -414,14 +475,14 @@ func (p *Proxy) processPiggyback(host string, m core.Message, now int64) {
 				// Stale copy: delete; a fresh copy could be
 				// prefetched (§2.1).
 				p.cache.Delete(key)
-				p.stats.Invalidations++
+				p.c.invalidations.Inc()
 				if p.cfg.Prefetch {
 					p.queue.Push(FetchItem{Host: elHost, URL: elPath, Size: el.Size, LastModified: el.LastModified})
 				}
 			} else {
 				p.cache.Freshen(key, now+p.delta(key))
 				p.cache.Hint(key, now+p.cfg.RPVTimeout, now)
-				p.stats.Refreshes++
+				p.c.refreshes.Inc()
 			}
 			continue
 		}
@@ -467,7 +528,7 @@ func (p *Proxy) DrainPrefetches(max int) int {
 		}
 		lm, _ := resp.LastModified()
 		p.mu.Lock()
-		p.stats.Prefetches++
+		p.c.prefetches.Inc()
 		p.cache.Put(cache.Entry{
 			URL:          key,
 			Size:         int64(len(resp.Body)),

@@ -14,6 +14,7 @@ import (
 	"piggyback/internal/core"
 	"piggyback/internal/delta"
 	"piggyback/internal/httpwire"
+	"piggyback/internal/obs"
 	"piggyback/internal/trace"
 )
 
@@ -131,8 +132,22 @@ type Server struct {
 	// and tests control time. nil panics at first use — set it.
 	Clock func() int64
 
-	mu    sync.Mutex
-	stats Stats
+	obs *obs.Registry
+	c   serverCounters
+}
+
+// serverCounters caches the registry's counter pointers so the request
+// path is pure atomic adds — no map lookups, no locks.
+type serverCounters struct {
+	requests        *obs.Counter
+	notModified     *obs.Counter
+	notFound        *obs.Counter
+	piggybacksSent  *obs.Counter
+	piggybackElems  *obs.Counter
+	piggybackBytes  *obs.Counter
+	hitReports      *obs.Counter
+	deltasSent      *obs.Counter
+	deltaBytesSaved *obs.Counter
 }
 
 // Stats counts server-side protocol activity.
@@ -154,7 +169,19 @@ type Stats struct {
 
 // New returns a Server over the store and volume engine.
 func New(store *Store, vols core.Provider, clock func() int64) *Server {
-	return &Server{store: store, vols: vols, Clock: clock}
+	reg := obs.NewRegistry()
+	return &Server{store: store, vols: vols, Clock: clock, obs: reg,
+		c: serverCounters{
+			requests:        reg.Counter("server.requests"),
+			notModified:     reg.Counter("server.not_modified"),
+			notFound:        reg.Counter("server.not_found"),
+			piggybacksSent:  reg.Counter("server.piggybacks_sent"),
+			piggybackElems:  reg.Counter("server.piggyback_elems"),
+			piggybackBytes:  reg.Counter("server.piggyback_bytes"),
+			hitReports:      reg.Counter("server.hit_reports"),
+			deltasSent:      reg.Counter("server.deltas_sent"),
+			deltaBytesSaved: reg.Counter("server.delta_bytes_saved"),
+		}}
 }
 
 // Store returns the resource store (for administrative updates).
@@ -163,11 +190,23 @@ func (s *Server) Store() *Store { return s.store }
 // Volumes returns the volume engine.
 func (s *Server) Volumes() core.Provider { return s.vols }
 
+// Obs returns the server's telemetry registry (also served live on
+// obs.StatsPath).
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Requests:        int(s.c.requests.Load()),
+		NotModified:     int(s.c.notModified.Load()),
+		NotFound:        int(s.c.notFound.Load()),
+		PiggybacksSent:  int(s.c.piggybacksSent.Load()),
+		PiggybackElems:  int(s.c.piggybackElems.Load()),
+		PiggybackBytes:  s.c.piggybackBytes.Load(),
+		HitReports:      int(s.c.hitReports.Load()),
+		DeltasSent:      int(s.c.deltasSent.Load()),
+		DeltaBytesSaved: s.c.deltaBytesSaved.Load(),
+	}
 }
 
 // refreshElements overwrites piggyback element attributes with the store's
@@ -204,19 +243,18 @@ func acceptsBlockdiff(req *httpwire.Request) bool {
 // ServeWire implements httpwire.Handler: GET/HEAD with If-Modified-Since
 // validation, delta encoding (A-IM: blockdiff), and piggyback trailers.
 func (s *Server) ServeWire(req *httpwire.Request) *httpwire.Response {
+	if httpwire.IsStatsRequest(req) {
+		return httpwire.StatsResponse(s.obs)
+	}
 	now := s.Clock()
-	s.mu.Lock()
-	s.stats.Requests++
-	s.mu.Unlock()
+	s.c.requests.Inc()
 
 	if req.Method != "GET" && req.Method != "HEAD" {
 		return httpwire.NewResponse(501)
 	}
 	res, ok := s.store.Get(req.Path)
 	if !ok {
-		s.mu.Lock()
-		s.stats.NotFound++
-		s.mu.Unlock()
+		s.c.notFound.Inc()
 		return httpwire.NewResponse(404)
 	}
 
@@ -235,9 +273,7 @@ func (s *Server) ServeWire(req *httpwire.Request) *httpwire.Response {
 						Element: core.Element{URL: r.URL, Size: r.Size, LastModified: r.LastModified}})
 				}
 			}
-			s.mu.Lock()
-			s.stats.HitReports += len(hits)
-			s.mu.Unlock()
+			s.c.hitReports.Add(int64(len(hits)))
 		}
 	}
 
@@ -249,9 +285,7 @@ func (s *Server) ServeWire(req *httpwire.Request) *httpwire.Response {
 		// or equal to the Last-Modified time at the server, the
 		// server simply validates the resource".
 		resp = httpwire.NewResponse(304)
-		s.mu.Lock()
-		s.stats.NotModified++
-		s.mu.Unlock()
+		s.c.notModified.Inc()
 	case hasIMS && acceptsBlockdiff(req):
 		// §4 delta encoding [23]: the resource changed; transmit only
 		// the difference between the proxy's version and the current
@@ -265,10 +299,8 @@ func (s *Server) ServeWire(req *httpwire.Request) *httpwire.Response {
 			resp.Body = enc
 			resp.Header.Set("IM", "blockdiff")
 			resp.Header.Set("Content-Type", res.ContentType)
-			s.mu.Lock()
-			s.stats.DeltasSent++
-			s.stats.DeltaBytesSaved += int64(len(newBody) - len(enc))
-			s.mu.Unlock()
+			s.c.deltasSent.Inc()
+			s.c.deltaBytesSaved.Add(int64(len(newBody) - len(enc)))
 		} else {
 			resp = httpwire.NewResponse(200)
 			resp.Body = newBody
@@ -289,11 +321,9 @@ func (s *Server) ServeWire(req *httpwire.Request) *httpwire.Response {
 				m.Elements = s.refreshElements(m.Elements)
 				if !m.Empty() {
 					httpwire.AttachPiggyback(resp, m)
-					s.mu.Lock()
-					s.stats.PiggybacksSent++
-					s.stats.PiggybackElems += len(m.Elements)
-					s.stats.PiggybackBytes += int64(m.WireBytes())
-					s.mu.Unlock()
+					s.c.piggybacksSent.Inc()
+					s.c.piggybackElems.Add(int64(len(m.Elements)))
+					s.c.piggybackBytes.Add(int64(m.WireBytes()))
 				}
 			}
 		}

@@ -33,6 +33,8 @@ import (
 	"piggyback/internal/center"
 	"piggyback/internal/core"
 	"piggyback/internal/httpwire"
+	"piggyback/internal/loadgen"
+	"piggyback/internal/obs"
 	"piggyback/internal/proxy"
 	"piggyback/internal/server"
 	"piggyback/internal/sim"
@@ -313,3 +315,40 @@ func ReplayReplacement(log TraceLog, capacity int64, policy CachePolicy, provide
 func AnalyzeLocality(log TraceLog, levels []int, includeEmbedded bool) []LocalityStats {
 	return sim.AnalyzeLocality(log, levels, includeEmbedded)
 }
+
+// --- Telemetry and load generation ---
+
+type (
+	// ObsRegistry is the live telemetry registry every wire-speaking
+	// component (origin, proxy, center) maintains and serves as JSON on
+	// GET /.piggy/stats.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time copy of a registry, with Sub/Merge
+	// algebra for windowed measurements.
+	ObsSnapshot = obs.Snapshot
+	// LoadConfig configures a load-generation run (closed or open loop).
+	LoadConfig = loadgen.Config
+	// LoadReport is the run's client-side report.
+	LoadReport = loadgen.Report
+)
+
+// WireMetrics instruments a WireServer or WireClient (requests, errors,
+// retries, dials, bytes, latency histogram) into an ObsRegistry.
+type WireMetrics = obs.WireMetrics
+
+// NewWireMetrics registers wire counters under prefix (e.g. "wire.server")
+// in r and returns them for assignment to a WireServer/WireClient Obs
+// field.
+func NewWireMetrics(r *ObsRegistry, prefix string) *WireMetrics {
+	return obs.NewWireMetrics(r, prefix)
+}
+
+// StatsPath is the origin-form URL path serving a live ObsSnapshot.
+const StatsPath = obs.StatsPath
+
+// RunLoad drives a workload against a live stack; see internal/loadgen.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) { return loadgen.Run(cfg) }
+
+// FetchStats retrieves a live telemetry snapshot from addr's stats
+// endpoint.
+func FetchStats(addr string) (ObsSnapshot, error) { return loadgen.FetchStats(addr) }
