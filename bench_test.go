@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -373,6 +374,65 @@ func BenchmarkLoadgenE2E(b *testing.B) {
 	}
 	b.ReportMetric(rps/float64(b.N), "req/s")
 	b.ReportMetric(p99/float64(b.N), "p99-µs")
+}
+
+// BenchmarkProxyUpstreamPoolParallel drives ServeWire from many
+// goroutines with an expired cache (Δ=0), so every request revalidates
+// upstream and the proxy's per-host connection pool carries the
+// concurrency. GOMAXPROCS parallel clients over pooled origin
+// connections is the configuration the paper's proxy runs in.
+func BenchmarkProxyUpstreamPoolParallel(b *testing.B) {
+	now := time.Now().Unix()
+	clock := func() int64 { return time.Now().Unix() }
+	const nRes = 32
+	st := server.NewStore()
+	for i := 0; i < nRes; i++ {
+		st.Put(server.Resource{URL: fmt.Sprintf("/a/r%02d.html", i),
+			Size: 2000, LastModified: now - 86400})
+	}
+	vols := core.NewDirVolumes(core.DirConfig{Level: 1, MTF: true, ServerMaxPiggy: 10})
+	origin := server.New(st, vols, clock)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	osrv := &httpwire.Server{Handler: origin}
+	go osrv.Serve(ol)
+	defer osrv.Close()
+
+	// The proxy's clock jumps far past Δ on every call, so each request
+	// finds its cached copy stale and revalidates upstream.
+	var vnow atomic.Int64
+	vnow.Store(now)
+	px := proxy.New(proxy.Config{
+		Delta:      60,
+		Clock:      func() int64 { return vnow.Add(10_000) },
+		Resolve:    func(string) (string, error) { return ol.Addr().String(), nil },
+		BaseFilter: core.Filter{MaxPiggy: 10},
+	})
+	defer px.Close()
+
+	b.ResetTimer()
+	// Workers beyond GOMAXPROCS still overlap on upstream I/O, which is
+	// what the pool multiplexes; don't let a small box serialize them.
+	b.SetParallelism(16)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			path := fmt.Sprintf("/a/r%02d.html", i%nRes)
+			i++
+			req := httpwire.NewRequest("GET", "http://www.bench.test"+path)
+			resp := px.ServeWire(req)
+			if resp.Status != 200 {
+				b.Errorf("status %d for %s", resp.Status, path)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	snap := px.Obs().Snapshot()
+	b.ReportMetric(float64(snap.Counter("wire.upstream.conns_open")), "pooled-conns")
+	b.ReportMetric(float64(snap.Counter("wire.upstream.dials")), "dials")
 }
 
 // Micro-benchmarks of the protocol hot paths.

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	loadtest [-profile aiusa] [-scale 0.02] [-mode closed|open]
-//	         [-workers 1,4,16] [-requests 2000] [-warmup 200]
+//	         [-workers 1,4,16,64] [-requests 2000] [-warmup 200]
 //	         [-piggyback on,off] [-maxpiggy 10] [-delta 900]
 //	         [-think 0] [-rate 500] [-center] [-prefetch]
 //	         [-json BENCH_loadtest.json] [-seed 1]
@@ -74,6 +74,13 @@ type scenario struct {
 	ProxyElements   int64 `json:"proxy_elements"`
 	ProxyRefreshes  int64 `json:"proxy_refreshes"`
 	OriginRequests  int64 `json:"origin_requests"`
+	// Upstream connection-pool counters (wire.upstream.* in the proxy's
+	// registry): how many origin connections the run dialed, how often a
+	// request had to wait at the per-host bound, and how many pooled
+	// connections were open when the run finished.
+	UpstreamDials int64 `json:"upstream_dials"`
+	PoolWaits     int64 `json:"pool_waits"`
+	UpstreamConns int64 `json:"upstream_conns_open"`
 }
 
 // benchOutput is the BENCH_loadtest.json schema.
@@ -110,7 +117,7 @@ func main() {
 	tbl := &metrics.Table{Header: []string{
 		"scenario", "piggy", "workers", "reqs", "errs", "rps",
 		"p50ms", "p90ms", "p99ms", "maxms", "hit%", "proxyhit%",
-		"piggybacks", "elems", "origin",
+		"piggybacks", "elems", "origin", "dials", "poolwaits", "upconns",
 	}}
 	for _, piggy := range opt.piggyback {
 		for _, workers := range opt.workers {
@@ -120,7 +127,8 @@ func main() {
 			tbl.AddRow(sc.Name, onOff(piggy), workers, r.Requests, r.Errors,
 				r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
 				ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio), pctOrDash(r.ProxyHitRatio),
-				sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests)
+				sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
+				sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns)
 		}
 	}
 	fmt.Println()
@@ -142,7 +150,7 @@ func parseFlags() options {
 	flag.StringVar(&opt.profile, "profile", "aiusa", "tracegen profile: aiusa|apache|sun")
 	flag.Float64Var(&opt.scale, "scale", 0.02, "workload scale factor")
 	flag.StringVar(&opt.mode, "mode", "closed", "load discipline: closed|open")
-	flag.StringVar(&workers, "workers", "1,4,16", "comma-separated concurrency sweep")
+	flag.StringVar(&workers, "workers", "1,4,16,64", "comma-separated concurrency sweep")
 	flag.IntVar(&opt.requests, "requests", 2000, "requests per scenario")
 	flag.IntVar(&opt.warmup, "warmup", 200, "leading completions excluded from the report")
 	flag.StringVar(&piggy, "piggyback", "on,off", "piggybacking axis: on, off, or on,off")
@@ -283,7 +291,12 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 		sc.ProxyPiggybacks = d.Counter("proxy.piggybacks_received")
 		sc.ProxyElements = d.Counter("proxy.piggyback_elements")
 		sc.ProxyRefreshes = d.Counter("proxy.refreshes")
+		sc.UpstreamDials = d.Counter("wire.upstream.dials")
+		sc.PoolWaits = d.Counter("wire.upstream.pool_waits")
 	}
+	// conns_open is a gauge, so read the live value rather than the
+	// run-window delta: it is the pool's fan-out at the end of the sweep.
+	sc.UpstreamConns = px.Obs().Snapshot().Counter("wire.upstream.conns_open")
 	return sc
 }
 

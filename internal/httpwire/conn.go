@@ -192,31 +192,65 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Client issues requests over persistent connections, one connection per
-// server address, serializing requests on each (a proxy lets multiple
-// clients share a single persistent connection to a server, §1).
+// Client issues requests over a per-host pool of persistent connections (a
+// proxy multiplexes many clients onto persistent connections to each
+// server, §1). Each origin gets up to MaxConnsPerHost concurrent
+// connections; idle connections are kept in a LIFO free list and reaped
+// after IdleConnTimeout. When every connection is busy and the host is at
+// its bound, acquirers wait for a release instead of dialing — so a burst
+// of N concurrent requests coalesces onto at most MaxConnsPerHost dials.
 type Client struct {
 	// DialTimeout bounds connection establishment; zero means 5s.
 	DialTimeout time.Duration
 	// RequestTimeout bounds one request/response exchange; zero = 30s.
 	RequestTimeout time.Duration
+	// MaxConnsPerHost bounds the pool size per origin address; zero
+	// means 16. Requests beyond the bound queue for a released
+	// connection rather than dialing.
+	MaxConnsPerHost int
+	// IdleConnTimeout is how long an idle pooled connection survives
+	// before being reaped; zero means 60s (the server-side idle timeout,
+	// so the two ends age connections on the same clock).
+	IdleConnTimeout time.Duration
+	// RetryBackoff is the pause before the single retry after a failure
+	// on a reused connection; zero means 2ms.
+	RetryBackoff time.Duration
 	// Obs, when non-nil, receives wire-level telemetry: per-exchange
-	// round-trip latency, retries, dials, and body bytes.
+	// round-trip latency, retries, dials, body bytes, and the pool
+	// gauges (open/idle connections, waits, reaped conns).
 	Obs *obs.WireMetrics
 
-	mu    sync.Mutex
-	conns map[string]*clientConn
+	mu     sync.Mutex
+	pools  map[string]*pool
+	closed bool
+}
+
+// pool is the per-origin connection pool: every open connection is in
+// live; the ones not currently carrying a request are also in idle.
+// active counts open connections plus in-flight dials and never exceeds
+// the client's MaxConnsPerHost.
+type pool struct {
+	c    *Client
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	idle   []*clientConn // oldest first; reused LIFO from the tail
+	live   map[*clientConn]struct{}
+	active int
+	closed bool
 }
 
 type clientConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	pool     *pool
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	lastUsed time.Time
 }
 
 // NewClient returns a Client ready for use.
-func NewClient() *Client { return &Client{conns: make(map[string]*clientConn)} }
+func NewClient() *Client { return &Client{pools: make(map[string]*pool)} }
 
 func (c *Client) dialTimeout() time.Duration {
 	if c.DialTimeout > 0 {
@@ -232,43 +266,67 @@ func (c *Client) requestTimeout() time.Duration {
 	return 30 * time.Second
 }
 
+func (c *Client) maxConnsPerHost() int {
+	if c.MaxConnsPerHost > 0 {
+		return c.MaxConnsPerHost
+	}
+	return 16
+}
+
+func (c *Client) idleConnTimeout() time.Duration {
+	if c.IdleConnTimeout > 0 {
+		return c.IdleConnTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c *Client) retryBackoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 2 * time.Millisecond
+}
+
 // Do sends req to the server at addr ("host:port") and returns its
-// response, transparently reusing or re-establishing the persistent
-// connection. A request that fails on a reused connection (the server may
-// have timed it out) is retried once on a fresh connection.
+// response, drawing a persistent connection from the per-host pool. A
+// request that fails on a reused connection (the server may have timed it
+// out) is retried once on a fresh connection after a short backoff.
 func (c *Client) Do(addr string, req *Request) (*Response, error) {
 	start := time.Now()
-	cc, reused, err := c.conn(addr)
+	cc, reused, err := c.acquire(addr)
 	if err != nil {
 		if c.Obs != nil {
 			c.Obs.Errors.Inc()
 		}
 		return nil, err
 	}
-	resp, err := c.roundTrip(cc, addr, req)
+	resp, err := c.roundTrip(cc, req)
 	if err != nil && reused {
 		if c.Obs != nil {
 			c.Obs.Retries.Inc()
 		}
-		c.drop(addr, cc)
-		cc, _, err = c.conn(addr)
+		c.discardConn(cc)
+		time.Sleep(c.retryBackoff())
+		cc, _, err = c.acquire(addr)
 		if err != nil {
 			if c.Obs != nil {
 				c.Obs.Errors.Inc()
 			}
 			return nil, err
 		}
-		resp, err = c.roundTrip(cc, addr, req)
+		resp, err = c.roundTrip(cc, req)
 	}
 	if err != nil {
-		c.drop(addr, cc)
+		c.discardConn(cc)
 		if c.Obs != nil {
 			c.Obs.Errors.Inc()
 		}
 		return nil, err
 	}
 	if resp.Header.WantsClose() {
-		c.drop(addr, cc)
+		c.discardConn(cc)
+	} else {
+		c.releaseConn(cc)
 	}
 	if c.Obs != nil {
 		c.Obs.Requests.Inc()
@@ -279,12 +337,8 @@ func (c *Client) Do(addr string, req *Request) (*Response, error) {
 	return resp, nil
 }
 
-func (c *Client) roundTrip(cc *clientConn, addr string, req *Request) (*Response, error) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if cc.conn == nil {
-		return nil, net.ErrClosed
-	}
+// roundTrip runs one exchange on a connection the caller owns exclusively.
+func (c *Client) roundTrip(cc *clientConn, req *Request) (*Response, error) {
 	if err := cc.conn.SetDeadline(time.Now().Add(c.requestTimeout())); err != nil {
 		return nil, err
 	}
@@ -294,63 +348,189 @@ func (c *Client) roundTrip(cc *clientConn, addr string, req *Request) (*Response
 	return ReadResponse(cc.br, req.Method == "HEAD")
 }
 
-// conn returns the live connection for addr, dialing if needed, and
-// whether it was reused.
-func (c *Client) conn(addr string) (*clientConn, bool, error) {
+// getPool returns the pool for addr, creating it on first use.
+func (c *Client) getPool(addr string) (*pool, error) {
 	c.mu.Lock()
-	if cc, ok := c.conns[addr]; ok {
-		c.mu.Unlock()
-		return cc, true, nil
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, net.ErrClosed
 	}
-	c.mu.Unlock()
+	if c.pools == nil {
+		c.pools = make(map[string]*pool)
+	}
+	p, ok := c.pools[addr]
+	if !ok {
+		p = &pool{c: c, addr: addr, live: make(map[*clientConn]struct{})}
+		p.cond = sync.NewCond(&p.mu)
+		c.pools[addr] = p
+	}
+	return p, nil
+}
 
-	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+// acquire hands the caller exclusive use of a connection to addr: a pooled
+// idle one (reused), a fresh dial when the pool is under its bound, or —
+// at the bound — the next released connection. The caller must hand it
+// back via releaseConn or discardConn.
+func (c *Client) acquire(addr string) (*clientConn, bool, error) {
+	p, err := c.getPool(addr)
 	if err != nil {
 		return nil, false, err
 	}
-	if c.Obs != nil {
-		c.Obs.Dials.Inc()
+	return p.get()
+}
+
+func (p *pool) get() (*clientConn, bool, error) {
+	max := p.c.maxConnsPerHost()
+	p.mu.Lock()
+	waited := false
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, false, net.ErrClosed
+		}
+		p.reapLocked(time.Now())
+		if n := len(p.idle); n > 0 {
+			cc := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			if p.c.Obs != nil {
+				p.c.Obs.ConnsIdle.Add(-1)
+			}
+			return cc, true, nil
+		}
+		if p.active < max {
+			p.active++
+			p.mu.Unlock()
+			return p.dial()
+		}
+		if !waited {
+			waited = true
+			if p.c.Obs != nil {
+				p.c.Obs.PoolWaits.Inc()
+			}
+		}
+		p.cond.Wait()
 	}
-	cc := &clientConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
-	c.mu.Lock()
-	if old, ok := c.conns[addr]; ok {
-		// Lost a race; use the established one.
-		c.mu.Unlock()
+}
+
+// dial establishes a new connection for a slot the caller already holds.
+func (p *pool) dial() (*clientConn, bool, error) {
+	conn, err := net.DialTimeout("tcp", p.addr, p.c.dialTimeout())
+	if err != nil {
+		p.mu.Lock()
+		p.active--
+		p.cond.Signal()
+		p.mu.Unlock()
+		return nil, false, err
+	}
+	cc := &clientConn{pool: p, conn: conn,
+		br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	p.mu.Lock()
+	if p.closed {
+		p.active--
+		p.mu.Unlock()
 		conn.Close()
-		return old, true, nil
+		return nil, false, net.ErrClosed
 	}
-	c.conns[addr] = cc
-	c.mu.Unlock()
+	p.live[cc] = struct{}{}
+	p.mu.Unlock()
+	if p.c.Obs != nil {
+		p.c.Obs.Dials.Inc()
+		p.c.Obs.ConnsOpen.Inc()
+	}
 	return cc, false, nil
 }
 
-// drop closes and forgets the connection for addr if it is still cc.
-func (c *Client) drop(addr string, cc *clientConn) {
-	c.mu.Lock()
-	if cur, ok := c.conns[addr]; ok && cur == cc {
-		delete(c.conns, addr)
-	}
-	c.mu.Unlock()
-	cc.mu.Lock()
-	if cc.conn != nil {
+// reapLocked closes idle connections older than IdleConnTimeout. Caller
+// holds p.mu.
+func (p *pool) reapLocked(now time.Time) {
+	timeout := p.c.idleConnTimeout()
+	reaped := 0
+	for len(p.idle) > 0 && now.Sub(p.idle[0].lastUsed) > timeout {
+		cc := p.idle[0]
+		p.idle = p.idle[1:]
+		delete(p.live, cc)
+		p.active--
 		cc.conn.Close()
-		cc.conn = nil
+		reaped++
 	}
-	cc.mu.Unlock()
+	if reaped > 0 {
+		if p.c.Obs != nil {
+			p.c.Obs.ConnsIdle.Add(-int64(reaped))
+			p.c.Obs.ConnsOpen.Add(-int64(reaped))
+			p.c.Obs.IdleClosed.Add(int64(reaped))
+		}
+		p.cond.Broadcast()
+	}
 }
 
-// Close shuts all pooled connections.
+// releaseConn returns a healthy connection to its pool's idle list.
+func (c *Client) releaseConn(cc *clientConn) {
+	p := cc.pool
+	cc.lastUsed = time.Now()
+	p.mu.Lock()
+	if p.closed {
+		p.removeLocked(cc)
+		p.mu.Unlock()
+		cc.conn.Close()
+		return
+	}
+	p.idle = append(p.idle, cc)
+	p.cond.Signal()
+	p.mu.Unlock()
+	if c.Obs != nil {
+		c.Obs.ConnsIdle.Inc()
+	}
+}
+
+// discardConn closes a connection and frees its pool slot.
+func (c *Client) discardConn(cc *clientConn) {
+	p := cc.pool
+	p.mu.Lock()
+	removed := p.removeLocked(cc)
+	p.cond.Signal()
+	p.mu.Unlock()
+	cc.conn.Close()
+	if removed && c.Obs != nil {
+		c.Obs.ConnsOpen.Add(-1)
+	}
+}
+
+// removeLocked drops cc from the pool's books if still present. Caller
+// holds p.mu.
+func (p *pool) removeLocked(cc *clientConn) bool {
+	if _, ok := p.live[cc]; !ok {
+		return false
+	}
+	delete(p.live, cc)
+	p.active--
+	return true
+}
+
+// Close shuts all pooled connections and fails waiting acquirers.
+// Connections currently carrying a request are closed too; their holders
+// see the exchange fail.
 func (c *Client) Close() {
 	c.mu.Lock()
-	conns := c.conns
-	c.conns = make(map[string]*clientConn)
+	c.closed = true
+	pools := c.pools
+	c.pools = make(map[string]*pool)
 	c.mu.Unlock()
-	for _, cc := range conns {
-		cc.mu.Lock()
-		if cc.conn != nil {
+	for _, p := range pools {
+		p.mu.Lock()
+		p.closed = true
+		open, idle := len(p.live), len(p.idle)
+		for cc := range p.live {
 			cc.conn.Close()
-			cc.conn = nil
 		}
-		cc.mu.Unlock()
+		p.live = make(map[*clientConn]struct{})
+		p.idle = nil
+		p.active = 0
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if c.Obs != nil {
+			c.Obs.ConnsOpen.Add(-int64(open))
+			c.Obs.ConnsIdle.Add(-int64(idle))
+		}
 	}
 }

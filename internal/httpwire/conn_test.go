@@ -111,12 +111,8 @@ func TestClientRetriesStaleConnection(t *testing.T) {
 	if _, err := c.Do(addr, NewRequest("GET", "/a")); err != nil {
 		t.Fatal(err)
 	}
-	// Kill the pooled connection behind the client's back.
-	c.mu.Lock()
-	for _, cc := range c.conns {
-		cc.conn.Close()
-	}
-	c.mu.Unlock()
+	// Kill the pooled idle connection behind the client's back.
+	closeIdleConns(c)
 	resp, err := c.Do(addr, NewRequest("GET", "/b"))
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("retry on stale connection failed: %v", err)
@@ -150,8 +146,8 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestSharedClientConcurrent(t *testing.T) {
-	// One client (one persistent connection) shared by many goroutines:
-	// requests serialize on the connection without corruption.
+	// One client shared by many goroutines: each in-flight request owns
+	// its pooled connection exclusively, so bodies never cross wires.
 	addr := startServer(t, HandlerFunc(echoHandler))
 	c := NewClient()
 	defer c.Close()

@@ -1,7 +1,6 @@
 package httpwire
 
 import (
-	"net"
 	"time"
 )
 
@@ -11,17 +10,17 @@ import (
 // writes the whole batch before reading any response, so the pipe carries
 // at most one round-trip of latency for the entire page.
 
-// DoAll pipelines the requests to addr over one persistent connection and
-// returns the responses in order. On any error the connection is dropped
-// and the error returned; responses received before the failure are
-// returned alongside it. HEAD requests are pipelined correctly (their
-// responses carry no body).
+// DoAll pipelines the requests to addr over one pooled persistent
+// connection and returns the responses in order. On any error the
+// connection is dropped and the error returned; responses received before
+// the failure are returned alongside it. HEAD requests are pipelined
+// correctly (their responses carry no body).
 func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
 	start := time.Now()
-	cc, reused, err := c.conn(addr)
+	cc, reused, err := c.acquire(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -29,25 +28,35 @@ func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 	if err != nil && reused && len(resps) == 0 {
 		// The idle connection may have been closed by the server;
 		// retry the whole batch once on a fresh connection.
-		c.drop(addr, cc)
-		cc, _, err = c.conn(addr)
+		if c.Obs != nil {
+			c.Obs.Retries.Inc()
+		}
+		c.discardConn(cc)
+		time.Sleep(c.retryBackoff())
+		cc, _, err = c.acquire(addr)
 		if err != nil {
 			return nil, err
 		}
 		resps, err = c.pipeline(cc, reqs)
 	}
 	if err != nil {
-		c.drop(addr, cc)
+		c.discardConn(cc)
 		if c.Obs != nil {
 			c.Obs.Errors.Inc()
 		}
 		return resps, err
 	}
+	drop := false
 	for _, r := range resps {
 		if r.Header.WantsClose() {
-			c.drop(addr, cc)
+			drop = true
 			break
 		}
+	}
+	if drop {
+		c.discardConn(cc)
+	} else {
+		c.releaseConn(cc)
 	}
 	if c.Obs != nil {
 		// The batch shares one wire round trip, so it contributes one
@@ -62,12 +71,8 @@ func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 	return resps, nil
 }
 
+// pipeline runs one batch on a connection the caller owns exclusively.
 func (c *Client) pipeline(cc *clientConn, reqs []*Request) ([]*Response, error) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if cc.conn == nil {
-		return nil, net.ErrClosed
-	}
 	if err := cc.conn.SetDeadline(deadlineFor(c, len(reqs))); err != nil {
 		return nil, err
 	}

@@ -122,11 +122,7 @@ func TestPipelineRetriesStaleConnection(t *testing.T) {
 	if _, err := c.Do(addr, NewRequest("GET", "/warm")); err != nil {
 		t.Fatal(err)
 	}
-	c.mu.Lock()
-	for _, cc := range c.conns {
-		cc.conn.Close()
-	}
-	c.mu.Unlock()
+	closeIdleConns(c)
 	resps, err := c.DoAll(addr, []*Request{NewRequest("GET", "/x"), NewRequest("GET", "/y")})
 	if err != nil || len(resps) != 2 {
 		t.Fatalf("pipeline retry failed: %v (%d responses)", err, len(resps))

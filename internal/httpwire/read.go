@@ -21,20 +21,32 @@ const (
 var ErrMalformed = errors.New("httpwire: malformed message")
 
 // readLine reads one CRLF- (or bare-LF-) terminated line without the
-// terminator.
+// terminator. The maxLineBytes bound is enforced while reading — an
+// endless line from a misbehaving peer fails after at most one buffer
+// beyond the limit instead of accumulating unboundedly.
 func readLine(br *bufio.Reader) (string, error) {
-	line, err := br.ReadString('\n')
-	if err != nil {
-		if err == io.EOF && line != "" {
-			return "", io.ErrUnexpectedEOF
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if len(line)+len(frag) > maxLineBytes {
+			return "", fmt.Errorf("%w: header line too long", ErrMalformed)
+		}
+		line = append(line, frag...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF {
+			if len(line) > 0 {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", io.EOF
 		}
 		return "", err
 	}
-	if len(line) > maxLineBytes {
-		return "", fmt.Errorf("%w: header line too long", ErrMalformed)
-	}
-	line = strings.TrimRight(line, "\r\n")
-	return line, nil
+	return strings.TrimRight(string(line), "\r\n"), nil
 }
 
 // readHeader reads header fields until the blank line.

@@ -3,7 +3,9 @@ package httpwire
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -150,6 +152,64 @@ func TestChunkExtensionsIgnored(t *testing.T) {
 	}
 	if string(got.Body) != "hello" {
 		t.Errorf("body = %q", got.Body)
+	}
+}
+
+// endlessLineReader emits an unterminated header line forever, counting
+// how many bytes the parser actually consumed.
+type endlessLineReader struct {
+	prefix   []byte // emitted once before the endless run of filler
+	pos      int
+	consumed int64
+}
+
+func (e *endlessLineReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if e.pos < len(e.prefix) {
+			p[n] = e.prefix[e.pos]
+			e.pos++
+		} else {
+			p[n] = 'a'
+		}
+		n++
+	}
+	e.consumed += int64(n)
+	return n, nil
+}
+
+func TestEndlessHeaderLineBounded(t *testing.T) {
+	// A peer streaming an endless header line must be rejected after
+	// maxLineBytes, not buffered until memory runs out.
+	r := &endlessLineReader{prefix: []byte("GET / HTTP/1.1\r\nX-Evil: ")}
+	_, err := ReadRequest(bufio.NewReader(r))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("endless header line: err = %v, want ErrMalformed", err)
+	}
+	// Consumption stays within the line bound plus one reader buffer.
+	if limit := int64(maxLineBytes + 64<<10); r.consumed > limit {
+		t.Errorf("parser consumed %d bytes of an endless line, want <= %d", r.consumed, limit)
+	}
+}
+
+func TestEndlessRequestLineBounded(t *testing.T) {
+	r := &endlessLineReader{}
+	_, err := ReadRequest(bufio.NewReader(r))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("endless request line: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestMaxLengthLineStillAccepted(t *testing.T) {
+	// A line of exactly maxLineBytes (terminator included) parses fine.
+	long := strings.Repeat("a", maxLineBytes-len("X-Long: ")-2)
+	wire := "GET / HTTP/1.1\r\nX-Long: " + long + "\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(bytes.NewReader([]byte(wire))))
+	if err != nil {
+		t.Fatalf("max-length header line rejected: %v", err)
+	}
+	if got := req.Header.Get("X-Long"); got != long {
+		t.Errorf("long header truncated: %d bytes, want %d", len(got), len(long))
 	}
 }
 

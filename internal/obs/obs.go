@@ -444,9 +444,10 @@ func ParseSnapshot(b []byte) (Snapshot, error) {
 }
 
 // WireMetrics bundles the metrics one side of the wire protocol maintains:
-// exchange counts, failures, reconnects, body bytes, and per-exchange
-// latency. Constructed against a registry so the values appear in its
-// snapshots under prefix-qualified names.
+// exchange counts, failures, reconnects, body bytes, per-exchange latency,
+// and — on the client side — the connection-pool gauges. Constructed
+// against a registry so the values appear in its snapshots under
+// prefix-qualified names.
 type WireMetrics struct {
 	Requests *Counter // completed exchanges
 	Errors   *Counter // failed exchanges
@@ -455,19 +456,31 @@ type WireMetrics struct {
 	BytesIn  *Counter // message body bytes received
 	BytesOut *Counter // message body bytes sent
 	Latency  *Histogram
+
+	// Connection-pool gauges (client side; a server leaves them zero).
+	ConnsOpen  *Counter // gauge: open pooled connections (idle + in use)
+	ConnsIdle  *Counter // gauge: connections parked on the idle list
+	PoolWaits  *Counter // acquisitions that blocked on the per-host bound
+	IdleClosed *Counter // idle connections reaped past IdleConnTimeout
 }
 
 // NewWireMetrics registers wire metrics under prefix (e.g. "wire.server")
 // in r: prefix.requests, prefix.errors, prefix.retries, prefix.dials,
-// prefix.bytes_in, prefix.bytes_out, prefix.latency_us.
+// prefix.bytes_in, prefix.bytes_out, prefix.latency_us, plus the pool
+// gauges prefix.conns_open, prefix.conns_idle, prefix.pool_waits, and
+// prefix.idle_closed.
 func NewWireMetrics(r *Registry, prefix string) *WireMetrics {
 	return &WireMetrics{
-		Requests: r.Counter(prefix + ".requests"),
-		Errors:   r.Counter(prefix + ".errors"),
-		Retries:  r.Counter(prefix + ".retries"),
-		Dials:    r.Counter(prefix + ".dials"),
-		BytesIn:  r.Counter(prefix + ".bytes_in"),
-		BytesOut: r.Counter(prefix + ".bytes_out"),
-		Latency:  r.Histogram(prefix+".latency_us", LatencyBuckets()),
+		Requests:   r.Counter(prefix + ".requests"),
+		Errors:     r.Counter(prefix + ".errors"),
+		Retries:    r.Counter(prefix + ".retries"),
+		Dials:      r.Counter(prefix + ".dials"),
+		BytesIn:    r.Counter(prefix + ".bytes_in"),
+		BytesOut:   r.Counter(prefix + ".bytes_out"),
+		Latency:    r.Histogram(prefix+".latency_us", LatencyBuckets()),
+		ConnsOpen:  r.Counter(prefix + ".conns_open"),
+		ConnsIdle:  r.Counter(prefix + ".conns_idle"),
+		PoolWaits:  r.Counter(prefix + ".pool_waits"),
+		IdleClosed: r.Counter(prefix + ".idle_closed"),
 	}
 }

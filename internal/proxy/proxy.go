@@ -88,6 +88,10 @@ type Stats struct {
 	// the body bytes they avoided transferring (§4, ref [23]).
 	DeltaUpdates    int
 	DeltaBytesSaved int64
+	// SingleflightShared counts client requests served from another
+	// in-flight fetch of the same key instead of their own origin
+	// exchange (miss de-duplication).
+	SingleflightShared int
 	// UpstreamErrors counts failed origin exchanges.
 	UpstreamErrors int
 }
@@ -105,6 +109,20 @@ type Proxy struct {
 	mu          sync.Mutex
 	cache       *cache.Cache
 	pendingHits map[string][]string // host -> cache-hit paths to report
+
+	// flights de-duplicates concurrent misses: the first requester of a
+	// cold key becomes the leader and fetches; the rest wait on its
+	// flight and share the response, so N clients hitting one cold URL
+	// cost one origin exchange.
+	sfMu    sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress leader fetch. resp is written once, before
+// done is closed; waiters read it only after <-done.
+type flight struct {
+	done chan struct{}
+	resp *httpwire.Response
 }
 
 // proxyCounters caches the registry's counter pointers: stat updates are
@@ -124,6 +142,7 @@ type proxyCounters struct {
 	hitsReported       *obs.Counter
 	deltaUpdates       *obs.Counter
 	deltaBytesSaved    *obs.Counter
+	singleflightShared *obs.Counter
 	upstreamErrors     *obs.Counter
 }
 
@@ -157,6 +176,7 @@ func New(cfg Config) *Proxy {
 		cache:       cache.New(cfg.CacheBytes, cfg.Policy),
 		queue:       NewInformedQueue(),
 		pendingHits: make(map[string][]string),
+		flights:     make(map[string]*flight),
 		obs:         reg,
 		c: proxyCounters{
 			clientRequests:     reg.Counter("proxy.client_requests"),
@@ -173,6 +193,7 @@ func New(cfg Config) *Proxy {
 			hitsReported:       reg.Counter("proxy.hits_reported"),
 			deltaUpdates:       reg.Counter("proxy.delta_updates"),
 			deltaBytesSaved:    reg.Counter("proxy.delta_bytes_saved"),
+			singleflightShared: reg.Counter("proxy.singleflight_shared"),
 			upstreamErrors:     reg.Counter("proxy.upstream_errors"),
 		},
 	}
@@ -202,6 +223,7 @@ func (p *Proxy) Stats() Stats {
 		HitsReported:       int(p.c.hitsReported.Load()),
 		DeltaUpdates:       int(p.c.deltaUpdates.Load()),
 		DeltaBytesSaved:    p.c.deltaBytesSaved.Load(),
+		SingleflightShared: int(p.c.singleflightShared.Load()),
 		UpstreamErrors:     int(p.c.upstreamErrors.Load()),
 	}
 }
@@ -248,6 +270,17 @@ func splitTarget(req *httpwire.Request) (host, path string, err error) {
 	return host, t, nil
 }
 
+// upstreamState carries what one request needs across the unlocked
+// upstream exchange: the target, and — when a stale copy exists — the
+// cached body and Last-Modified, copied under p.mu so no *cache.Entry
+// pointer is touched while other goroutines mutate the cache.
+type upstreamState struct {
+	key, host, path string
+	hit             bool
+	cachedLM        int64
+	cachedBody      []byte
+}
+
 // ServeWire implements httpwire.Handler.
 func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 	if httpwire.IsStatsRequest(req) {
@@ -264,7 +297,31 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 	key := host + path
 
 	p.c.clientRequests.Inc()
+	st, resp := p.lookup(key, host, path, now)
+	if resp != nil {
+		return resp // fresh hit
+	}
+	if !st.hit {
+		// Cold key: de-duplicate concurrent misses. Only one goroutine
+		// fetches; the rest share its response.
+		if shared, ok := p.joinFlight(key); ok {
+			p.c.singleflightShared.Inc()
+			return shared
+		}
+		out := p.fetch(st, now)
+		p.finishFlight(key, out)
+		return out
+	}
+	// Stale copy: each holder validates with its own conditional GET.
+	return p.fetch(st, now)
+}
+
+// lookup runs the locked cache-side half of a request. It returns a
+// response for a fresh hit, or the state the upstream exchange needs.
+func (p *Proxy) lookup(key, host, path string, now int64) (upstreamState, *httpwire.Response) {
+	st := upstreamState{key: key, host: host, path: path}
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	entry, hit := p.cache.Get(key, now)
 	if hit && entry.Fresh(now) {
 		resp := p.serveEntry(entry)
@@ -279,43 +336,80 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 				p.pendingHits[host] = append(hits, path)
 			}
 		}
-		p.mu.Unlock()
 		resp.Header.Set("X-Cache", "HIT")
-		return resp
+		return st, resp
 	}
-	var cachedLM int64
+	st.hit = hit
 	if hit {
-		cachedLM = entry.LastModified
+		// Copy the fields the exchange needs while the lock is held;
+		// entry itself must not escape this function.
+		st.cachedLM = entry.LastModified
+		st.cachedBody = entry.Body
 		if entry.Prefetched {
 			entry.Prefetched = false
 			p.c.usefulPrefetches.Inc()
 		}
 	}
+	return st, nil
+}
+
+// joinFlight waits on an existing flight for key and returns its shared
+// response, or registers the caller as the flight leader (ok == false).
+func (p *Proxy) joinFlight(key string) (*httpwire.Response, bool) {
+	p.sfMu.Lock()
+	if f, ok := p.flights[key]; ok {
+		p.sfMu.Unlock()
+		<-f.done
+		out := httpwire.NewResponse(f.resp.Status)
+		for k, v := range f.resp.Header {
+			out.Header[k] = v
+		}
+		out.Body = f.resp.Body // bodies are never mutated once built
+		out.Header.Set("X-Cache", "SHARED")
+		return out, true
+	}
+	p.flights[key] = &flight{done: make(chan struct{})}
+	p.sfMu.Unlock()
+	return nil, false
+}
+
+// finishFlight publishes the leader's response and releases the waiters.
+func (p *Proxy) finishFlight(key string, out *httpwire.Response) {
+	p.sfMu.Lock()
+	f := p.flights[key]
+	delete(p.flights, key)
+	p.sfMu.Unlock()
+	f.resp = out
+	close(f.done)
+}
+
+// fetch runs the upstream exchange for st — conditional when a stale copy
+// exists (§2.1) — and the locked cache update that follows.
+func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
+	// Snapshot the filter state and pending hit reports under the lock.
+	p.mu.Lock()
 	filter := p.cfg.BaseFilter
-	filter.RPV = p.rpv.Snapshot(host, now)
+	filter.RPV = p.rpv.Snapshot(st.host, now)
 	var reportHits []string
 	if p.cfg.ReportHits {
-		reportHits = p.pendingHits[host]
-		delete(p.pendingHits, host)
+		reportHits = p.pendingHits[st.host]
+		delete(p.pendingHits, st.host)
 		p.c.hitsReported.Add(int64(len(reportHits)))
 	}
 	p.mu.Unlock()
 
-	// Upstream exchange: conditional when a stale copy exists (§2.1).
-	oreq := httpwire.NewRequest("GET", path)
-	oreq.Header.Set("Host", host)
-	var cachedBody []byte
-	if hit {
-		oreq.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(cachedLM))
+	oreq := httpwire.NewRequest("GET", st.path)
+	oreq.Header.Set("Host", st.host)
+	if st.hit {
+		oreq.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(st.cachedLM))
 		if p.cfg.DeltaEncoding {
 			oreq.Header.Set("A-IM", "blockdiff")
-			cachedBody = entry.Body
 		}
 	}
 	httpwire.SetFilter(oreq, filter)
 	httpwire.SetHits(oreq, reportHits)
 
-	addr, err := p.cfg.Resolve(host)
+	addr, err := p.cfg.Resolve(st.host)
 	if err != nil {
 		p.countUpstreamError()
 		return httpwire.NewResponse(502)
@@ -326,21 +420,22 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 		return httpwire.NewResponse(502)
 	}
 
+	key := st.key
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
 	var out *httpwire.Response
 	switch {
-	case resp.Status == 226 && hit:
+	case resp.Status == 226 && st.hit:
 		// Delta response: reconstruct the new version from the cached
 		// body and the patch (§4, ref [23]).
-		newBody, lm, err := applyDelta(cachedBody, resp)
+		newBody, lm, err := applyDelta(st.cachedBody, resp)
 		if err != nil {
 			// A malformed delta falls back to a plain refetch next
 			// time; serve the stale copy rather than failing the
 			// client.
 			p.c.upstreamErrors.Inc()
-			out = p.serveEntry(entry)
+			out = serveCopy(st.cachedBody, st.cachedLM)
 			break
 		}
 		p.c.validations.Inc()
@@ -363,13 +458,16 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 		if lm > 0 {
 			out.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lm))
 		}
-	case resp.Status == 304 && hit:
+	case resp.Status == 304 && st.hit:
 		p.c.validations.Inc()
 		p.c.notModified.Inc()
 		p.cache.Freshen(key, now+p.delta(key))
-		out = p.serveEntry(entry)
+		// Serve the validated copy, not whatever the cache holds now —
+		// a concurrent fetch may have replaced the entry since we
+		// unlocked.
+		out = serveCopy(st.cachedBody, st.cachedLM)
 	case resp.Status == 200:
-		if hit {
+		if st.hit {
 			p.c.validations.Inc()
 		} else {
 			p.c.missFetches.Inc()
@@ -395,6 +493,13 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 		if lm > 0 {
 			out.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lm))
 		}
+	case resp.Status == 304 || resp.Status == 226:
+		// Conditional-only statuses for a request that carried no
+		// condition (or no cached base for a delta): the origin is
+		// confused; a client that sent a plain GET cannot interpret
+		// them, so surface a gateway error instead of forwarding.
+		p.c.upstreamErrors.Inc()
+		out = httpwire.NewResponse(502)
 	default:
 		// Pass other statuses through without caching.
 		out = httpwire.NewResponse(resp.Status)
@@ -403,7 +508,7 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 	out.Header.Set("X-Cache", "MISS")
 
 	if m, ok := httpwire.ExtractPiggyback(resp); ok {
-		p.processPiggyback(host, m, now)
+		p.processPiggyback(st.host, m, now)
 	}
 	return out
 }
@@ -427,10 +532,16 @@ func applyDelta(cachedBody []byte, resp *httpwire.Response) (body []byte, lastMo
 
 // serveEntry builds a 200 response from a cached entry. Caller holds p.mu.
 func (p *Proxy) serveEntry(e *cache.Entry) *httpwire.Response {
+	return serveCopy(e.Body, e.LastModified)
+}
+
+// serveCopy builds a 200 response from a body and Last-Modified copied out
+// of the cache earlier; it never touches a live *cache.Entry.
+func serveCopy(body []byte, lastModified int64) *httpwire.Response {
 	resp := httpwire.NewResponse(200)
-	resp.Body = e.Body
-	if e.LastModified > 0 {
-		resp.Header.Set("Last-Modified", httpwire.FormatHTTPDate(e.LastModified))
+	resp.Body = body
+	if lastModified > 0 {
+		resp.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lastModified))
 	}
 	return resp
 }
