@@ -10,7 +10,7 @@
 // Usage:
 //
 //	piggyproxy [-addr :8081] -origin 127.0.0.1:8080 [-cache 64MiB-bytes]
-//	           [-delta 900] [-maxpiggy 10] [-prefetch] [-adaptive]
+//	           [-shards N] [-delta 900] [-maxpiggy 10] [-prefetch] [-adaptive]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8081", "listen address")
 	origin := flag.String("origin", "127.0.0.1:8080", "upstream address every host resolves to")
 	cacheBytes := flag.Int64("cache", 64<<20, "cache capacity in bytes")
+	shards := flag.Int("shards", 0, "cache shard count, rounded up to a power of two (0: smallest power of two covering the CPUs, clamped to [8, 64])")
 	delta := flag.Int64("delta", 900, "freshness interval Δ in seconds")
 	maxPiggy := flag.Int("maxpiggy", 10, "filter maxpiggy attribute")
 	prefetch := flag.Bool("prefetch", false, "prefetch piggybacked resources")
@@ -38,6 +39,7 @@ func main() {
 
 	px := piggyback.NewProxy(piggyback.ProxyConfig{
 		CacheBytes:        *cacheBytes,
+		CacheShards:       *shards,
 		Delta:             *delta,
 		BaseFilter:        piggyback.Filter{MaxPiggy: *maxPiggy},
 		Clock:             func() int64 { return time.Now().Unix() },

@@ -26,6 +26,9 @@ type Entry struct {
 	// the resource's authoritative size, even when the stored body is a
 	// truncated testbed synthesis).
 	Body []byte
+	// ContentType is the MIME type the origin sent with the body, served
+	// back on cache hits and 304-validated responses.
+	ContentType string
 	// Prefetched marks entries fetched speculatively from piggyback
 	// information; cleared on the first client hit so useful prefetches
 	// can be counted (§4).
@@ -72,8 +75,10 @@ type Policy interface {
 	OnEvict(e *Entry)
 }
 
-// Cache is a byte-capacity cache. It is not safe for concurrent use; the
-// proxy serializes access.
+// Cache is a byte-capacity cache. It is not safe for concurrent use: the
+// trace-driven simulators drive it single-threaded, and Sharded wraps one
+// Cache per shard — each under its own mutex — for the proxy's concurrent
+// hot path.
 type Cache struct {
 	capacity int64
 	used     int64
@@ -141,6 +146,7 @@ func (c *Cache) Put(e Entry, now int64) (evicted []string) {
 		old.Expires = e.Expires
 		old.FetchedAt = e.FetchedAt
 		old.Body = e.Body
+		old.ContentType = e.ContentType
 		old.Prefetched = e.Prefetched
 		old.lastAccess = now
 		c.reprioritize(old, now)

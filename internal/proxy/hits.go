@@ -1,0 +1,70 @@
+package proxy
+
+import "sync"
+
+// maxPendingHits bounds the cache-hit paths buffered per host between
+// upstream requests (the Piggy-Hits report, §5 future work). Beyond the
+// bound, further hits are dropped and counted (proxy.hits_dropped) rather
+// than silently discarded.
+const maxPendingHits = 32
+
+// hitStripes is the number of lock stripes in hostHits (power of two).
+// Hits on hosts in different stripes never contend, so hit reporting stays
+// off the fresh-hit fast path's critical section.
+const hitStripes = 16
+
+// hostHits is the striped per-host pending-hit-report table that replaces
+// the pendingHits map formerly guarded by the proxy's global mutex.
+type hostHits struct {
+	stripes [hitStripes]hitStripe
+}
+
+type hitStripe struct {
+	mu sync.Mutex
+	m  map[string][]string
+}
+
+func newHostHits() *hostHits {
+	h := &hostHits{}
+	for i := range h.stripes {
+		h.stripes[i].m = make(map[string][]string)
+	}
+	return h
+}
+
+func (h *hostHits) stripe(host string) *hitStripe {
+	// FNV-1a, as in the cache's shard selector.
+	v := uint32(2166136261)
+	for i := 0; i < len(host); i++ {
+		v ^= uint32(host[i])
+		v *= 16777619
+	}
+	return &h.stripes[v&(hitStripes-1)]
+}
+
+// add buffers one cache-hit path for host. It reports false when the
+// per-host bound is full and the hit was dropped.
+func (h *hostHits) add(host, path string) bool {
+	st := h.stripe(host)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hits := st.m[host]
+	if len(hits) >= maxPendingHits {
+		return false
+	}
+	st.m[host] = append(hits, path)
+	return true
+}
+
+// take removes and returns the buffered paths for host.
+func (h *hostHits) take(host string) []string {
+	st := h.stripe(host)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hits, ok := st.m[host]
+	if !ok {
+		return nil
+	}
+	delete(st.m, host)
+	return hits
+}

@@ -22,8 +22,14 @@ import (
 type Config struct {
 	// CacheBytes is the cache capacity; zero means 64 MiB.
 	CacheBytes int64
-	// Policy is the replacement policy; nil means PiggybackLRU.
+	// Policy is the replacement policy; nil means PiggybackLRU. Each
+	// cache shard gets its own instance (stateful policies carry
+	// per-shard state; see cache.PolicyFactory).
 	Policy cache.Policy
+	// CacheShards is the number of cache shards, rounded up to a power
+	// of two; zero means cache.DefaultShards() (the smallest power of
+	// two covering the machine's CPUs, clamped to [8, 64]).
+	CacheShards int
 	// Delta is the default freshness interval in seconds (§2.1); zero
 	// means 3600.
 	Delta int64
@@ -82,8 +88,11 @@ type Stats struct {
 	// those later hit by a client request.
 	Prefetches       int
 	UsefulPrefetches int
-	// HitsReported counts cache-hit URLs piggybacked upstream (§5).
+	// HitsReported counts cache-hit URLs piggybacked upstream (§5);
+	// HitsDropped counts fresh hits not buffered for reporting because
+	// the per-host pending bound was full.
 	HitsReported int
+	HitsDropped  int
 	// DeltaUpdates counts 226 delta responses applied; DeltaBytesSaved
 	// the body bytes they avoided transferring (§4, ref [23]).
 	DeltaUpdates    int
@@ -106,14 +115,18 @@ type Proxy struct {
 	obs    *obs.Registry
 	c      proxyCounters
 
-	mu          sync.Mutex
-	cache       *cache.Cache
-	pendingHits map[string][]string // host -> cache-hit paths to report
+	// cache is the sharded concurrent store: every operation locks only
+	// the shard owning its key, so there is no proxy-global cache lock
+	// and fresh hits on different shards proceed in parallel.
+	cache *cache.Sharded
+	// hits stripes the per-host pending hit reports (§5) the same way.
+	hits *hostHits
 
-	// flights de-duplicates concurrent misses: the first requester of a
-	// cold key becomes the leader and fetches; the rest wait on its
-	// flight and share the response, so N clients hitting one cold URL
-	// cost one origin exchange.
+	// flights de-duplicates concurrent fetches of one key — client
+	// misses and prefetch drains alike: the first requester of a cold
+	// key becomes the leader and fetches; the rest wait on its flight
+	// and share the response, so N fetchers of one cold URL cost one
+	// origin exchange.
 	sfMu    sync.Mutex
 	flights map[string]*flight
 }
@@ -140,6 +153,7 @@ type proxyCounters struct {
 	prefetches         *obs.Counter
 	usefulPrefetches   *obs.Counter
 	hitsReported       *obs.Counter
+	hitsDropped        *obs.Counter
 	deltaUpdates       *obs.Counter
 	deltaBytesSaved    *obs.Counter
 	singleflightShared *obs.Counter
@@ -170,14 +184,14 @@ func New(cfg Config) *Proxy {
 	}
 	reg := obs.NewRegistry()
 	p := &Proxy{
-		cfg:         cfg,
-		client:      httpwire.NewClient(),
-		rpv:         core.NewRPVTable(cfg.RPVTimeout, cfg.RPVMaxLen),
-		cache:       cache.New(cfg.CacheBytes, cfg.Policy),
-		queue:       NewInformedQueue(),
-		pendingHits: make(map[string][]string),
-		flights:     make(map[string]*flight),
-		obs:         reg,
+		cfg:     cfg,
+		client:  httpwire.NewClient(),
+		rpv:     core.NewRPVTable(cfg.RPVTimeout, cfg.RPVMaxLen),
+		cache:   cache.NewSharded(cfg.CacheBytes, cfg.CacheShards, cache.PolicyFactory(cfg.Policy)),
+		queue:   NewInformedQueue(),
+		hits:    newHostHits(),
+		flights: make(map[string]*flight),
+		obs:     reg,
 		c: proxyCounters{
 			clientRequests:     reg.Counter("proxy.client_requests"),
 			freshHits:          reg.Counter("proxy.fresh_hits"),
@@ -191,6 +205,7 @@ func New(cfg Config) *Proxy {
 			prefetches:         reg.Counter("proxy.prefetches"),
 			usefulPrefetches:   reg.Counter("proxy.useful_prefetches"),
 			hitsReported:       reg.Counter("proxy.hits_reported"),
+			hitsDropped:        reg.Counter("proxy.hits_dropped"),
 			deltaUpdates:       reg.Counter("proxy.delta_updates"),
 			deltaBytesSaved:    reg.Counter("proxy.delta_bytes_saved"),
 			singleflightShared: reg.Counter("proxy.singleflight_shared"),
@@ -198,8 +213,10 @@ func New(cfg Config) *Proxy {
 		},
 	}
 	// The upstream client's wire metrics (round-trip latency, retries,
-	// dials) land in the same registry under wire.upstream.*.
+	// dials) land in the same registry under wire.upstream.*, and the
+	// cache's shard-occupancy and eviction gauges under cache.*.
 	p.client.Obs = obs.NewWireMetrics(reg, "wire.upstream")
+	p.cache.Instrument(reg, "cache")
 	if cfg.AdaptiveFreshness {
 		p.fresh = NewFreshnessEstimator(cfg.Delta, cfg.MinDelta, cfg.MaxDelta)
 	}
@@ -221,6 +238,7 @@ func (p *Proxy) Stats() Stats {
 		Prefetches:         int(p.c.prefetches.Load()),
 		UsefulPrefetches:   int(p.c.usefulPrefetches.Load()),
 		HitsReported:       int(p.c.hitsReported.Load()),
+		HitsDropped:        int(p.c.hitsDropped.Load()),
 		DeltaUpdates:       int(p.c.deltaUpdates.Load()),
 		DeltaBytesSaved:    p.c.deltaBytesSaved.Load(),
 		SingleflightShared: int(p.c.singleflightShared.Load()),
@@ -233,11 +251,7 @@ func (p *Proxy) Stats() Stats {
 func (p *Proxy) Obs() *obs.Registry { return p.obs }
 
 // CacheHitRate returns the cache's hit rate.
-func (p *Proxy) CacheHitRate() float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.cache.HitRate()
-}
+func (p *Proxy) CacheHitRate() float64 { return p.cache.HitRate() }
 
 // Queue exposes the informed fetch queue (for draining in tests and the
 // prefetch loop).
@@ -270,15 +284,17 @@ func splitTarget(req *httpwire.Request) (host, path string, err error) {
 	return host, t, nil
 }
 
-// upstreamState carries what one request needs across the unlocked
-// upstream exchange: the target, and — when a stale copy exists — the
-// cached body and Last-Modified, copied under p.mu so no *cache.Entry
-// pointer is touched while other goroutines mutate the cache.
+// upstreamState carries what one request needs across the upstream
+// exchange: the target, and — when a stale copy exists — the cached body,
+// Last-Modified, and Content-Type, copied out under the shard lock (a
+// cache.View) so no *cache.Entry pointer is touched while other goroutines
+// mutate the cache.
 type upstreamState struct {
 	key, host, path string
 	hit             bool
 	cachedLM        int64
 	cachedBody      []byte
+	cachedCT        string
 }
 
 // ServeWire implements httpwire.Handler.
@@ -316,39 +332,30 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 	return p.fetch(st, now)
 }
 
-// lookup runs the locked cache-side half of a request. It returns a
-// response for a fresh hit, or the state the upstream exchange needs.
+// lookup runs the cache-side half of a request. It returns a response for
+// a fresh hit, or the state the upstream exchange needs. The only lock it
+// takes is the shard lock inside cache.Lookup, which also copies out the
+// servable state and clears the prefetch mark atomically.
 func (p *Proxy) lookup(key, host, path string, now int64) (upstreamState, *httpwire.Response) {
 	st := upstreamState{key: key, host: host, path: path}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	entry, hit := p.cache.Get(key, now)
-	if hit && entry.Fresh(now) {
-		resp := p.serveEntry(entry)
-		if entry.Prefetched {
-			entry.Prefetched = false
-			p.c.usefulPrefetches.Inc()
-		}
+	v, hit := p.cache.Lookup(key, now)
+	if hit && v.WasPrefetched {
+		p.c.usefulPrefetches.Inc()
+	}
+	if hit && v.Fresh(now) {
 		p.c.freshHits.Inc()
-		if p.cfg.ReportHits {
-			hits := p.pendingHits[host]
-			if len(hits) < 32 {
-				p.pendingHits[host] = append(hits, path)
-			}
+		if p.cfg.ReportHits && !p.hits.add(host, path) {
+			p.c.hitsDropped.Inc()
 		}
+		resp := serveCopy(v.Body, v.LastModified, v.ContentType)
 		resp.Header.Set("X-Cache", "HIT")
 		return st, resp
 	}
 	st.hit = hit
 	if hit {
-		// Copy the fields the exchange needs while the lock is held;
-		// entry itself must not escape this function.
-		st.cachedLM = entry.LastModified
-		st.cachedBody = entry.Body
-		if entry.Prefetched {
-			entry.Prefetched = false
-			p.c.usefulPrefetches.Inc()
-		}
+		st.cachedLM = v.LastModified
+		st.cachedBody = v.Body
+		st.cachedCT = v.ContentType
 	}
 	return st, nil
 }
@@ -384,19 +391,17 @@ func (p *Proxy) finishFlight(key string, out *httpwire.Response) {
 }
 
 // fetch runs the upstream exchange for st — conditional when a stale copy
-// exists (§2.1) — and the locked cache update that follows.
+// exists (§2.1) — and the per-shard cache update that follows.
 func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
-	// Snapshot the filter state and pending hit reports under the lock.
-	p.mu.Lock()
+	// Snapshot the filter state (the RPV table locks internally) and
+	// drain this host's pending hit reports from its stripe.
 	filter := p.cfg.BaseFilter
 	filter.RPV = p.rpv.Snapshot(st.host, now)
 	var reportHits []string
 	if p.cfg.ReportHits {
-		reportHits = p.pendingHits[st.host]
-		delete(p.pendingHits, st.host)
+		reportHits = p.hits.take(st.host)
 		p.c.hitsReported.Add(int64(len(reportHits)))
 	}
-	p.mu.Unlock()
 
 	oreq := httpwire.NewRequest("GET", st.path)
 	oreq.Header.Set("Host", st.host)
@@ -421,8 +426,6 @@ func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
 	}
 
 	key := st.key
-	p.mu.Lock()
-	defer p.mu.Unlock()
 
 	var out *httpwire.Response
 	switch {
@@ -435,12 +438,18 @@ func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
 			// time; serve the stale copy rather than failing the
 			// client.
 			p.c.upstreamErrors.Inc()
-			out = serveCopy(st.cachedBody, st.cachedLM)
+			out = serveCopy(st.cachedBody, st.cachedLM, st.cachedCT)
 			break
 		}
 		p.c.validations.Inc()
 		p.c.deltaUpdates.Inc()
 		p.c.deltaBytesSaved.Add(int64(len(newBody) - len(resp.Body)))
+		ct := resp.Header.Get("Content-Type")
+		if ct == "" {
+			// The delta carries the patched body of the same resource:
+			// its type is the cached copy's.
+			ct = st.cachedCT
+		}
 		e := cache.Entry{
 			URL:          key,
 			Size:         int64(len(newBody)),
@@ -448,24 +457,20 @@ func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
 			Expires:      now + p.delta(key),
 			FetchedAt:    now,
 			Body:         newBody,
+			ContentType:  ct,
 		}
 		if p.fresh != nil {
 			p.fresh.Observe(key, lm)
 		}
 		p.cache.Put(e, now)
-		out = httpwire.NewResponse(200)
-		out.Body = newBody
-		if lm > 0 {
-			out.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lm))
-		}
+		out = serveCopy(newBody, lm, ct)
 	case resp.Status == 304 && st.hit:
 		p.c.validations.Inc()
 		p.c.notModified.Inc()
 		p.cache.Freshen(key, now+p.delta(key))
 		// Serve the validated copy, not whatever the cache holds now —
-		// a concurrent fetch may have replaced the entry since we
-		// unlocked.
-		out = serveCopy(st.cachedBody, st.cachedLM)
+		// a concurrent fetch may have replaced the entry since lookup.
+		out = serveCopy(st.cachedBody, st.cachedLM, st.cachedCT)
 	case resp.Status == 200:
 		if st.hit {
 			p.c.validations.Inc()
@@ -473,6 +478,7 @@ func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
 			p.c.missFetches.Inc()
 		}
 		lm, _ := resp.LastModified()
+		ct := resp.Header.Get("Content-Type")
 		e := cache.Entry{
 			URL:          key,
 			Size:         int64(len(resp.Body)),
@@ -480,19 +486,13 @@ func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
 			Expires:      now + p.delta(key),
 			FetchedAt:    now,
 			Body:         resp.Body,
+			ContentType:  ct,
 		}
 		if p.fresh != nil {
 			p.fresh.Observe(key, lm)
 		}
 		p.cache.Put(e, now)
-		out = httpwire.NewResponse(200)
-		out.Body = resp.Body
-		if ct := resp.Header.Get("Content-Type"); ct != "" {
-			out.Header.Set("Content-Type", ct)
-		}
-		if lm > 0 {
-			out.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lm))
-		}
+		out = serveCopy(resp.Body, lm, ct)
 	case resp.Status == 304 || resp.Status == 226:
 		// Conditional-only statuses for a request that carried no
 		// condition (or no cached base for a delta): the origin is
@@ -530,18 +530,17 @@ func applyDelta(cachedBody []byte, resp *httpwire.Response) (body []byte, lastMo
 	return body, lm, nil
 }
 
-// serveEntry builds a 200 response from a cached entry. Caller holds p.mu.
-func (p *Proxy) serveEntry(e *cache.Entry) *httpwire.Response {
-	return serveCopy(e.Body, e.LastModified)
-}
-
-// serveCopy builds a 200 response from a body and Last-Modified copied out
-// of the cache earlier; it never touches a live *cache.Entry.
-func serveCopy(body []byte, lastModified int64) *httpwire.Response {
+// serveCopy builds a 200 response from a body, Last-Modified, and
+// Content-Type copied out of the cache earlier; it never touches a live
+// *cache.Entry.
+func serveCopy(body []byte, lastModified int64, contentType string) *httpwire.Response {
 	resp := httpwire.NewResponse(200)
 	resp.Body = body
 	if lastModified > 0 {
 		resp.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lastModified))
+	}
+	if contentType != "" {
+		resp.Header.Set("Content-Type", contentType)
 	}
 	return resp
 }
@@ -559,7 +558,9 @@ func (p *Proxy) delta(key string) int64 {
 // processPiggyback applies a P-Volume message (§2.1): note the volume in
 // the server's RPV list, freshen or invalidate cached copies, pin predicted
 // entries for replacement, queue prefetches, and feed the freshness
-// estimator. Caller holds p.mu.
+// estimator. Each element is one shard-local critical section
+// (cache.ApplyPiggyback), so a large trailer never stalls hits on
+// unrelated shards — it only ever holds one shard's lock at a time.
 func (p *Proxy) processPiggyback(host string, m core.Message, now int64) {
 	p.c.piggybacksReceived.Inc()
 	p.c.piggybackElements.Add(int64(len(m.Elements)))
@@ -581,31 +582,31 @@ func (p *Proxy) processPiggyback(host string, m core.Message, now int64) {
 		if p.fresh != nil {
 			p.fresh.Observe(key, el.LastModified)
 		}
-		if e, ok := p.cache.Peek(key); ok {
-			if el.LastModified > e.LastModified {
-				// Stale copy: delete; a fresh copy could be
-				// prefetched (§2.1).
-				p.cache.Delete(key)
-				p.c.invalidations.Inc()
-				if p.cfg.Prefetch {
-					p.queue.Push(FetchItem{Host: elHost, URL: elPath, Size: el.Size, LastModified: el.LastModified})
-				}
-			} else {
-				p.cache.Freshen(key, now+p.delta(key))
-				p.cache.Hint(key, now+p.cfg.RPVTimeout, now)
-				p.c.refreshes.Inc()
+		switch p.cache.ApplyPiggyback(key, el.LastModified, now+p.delta(key), now+p.cfg.RPVTimeout, now) {
+		case cache.PiggybackInvalidated:
+			// Stale copy: deleted; a fresh copy could be prefetched
+			// (§2.1).
+			p.c.invalidations.Inc()
+			if p.cfg.Prefetch {
+				p.queue.Push(FetchItem{Host: elHost, URL: elPath, Size: el.Size, LastModified: el.LastModified})
 			}
-			continue
-		}
-		if p.cfg.Prefetch {
-			p.queue.Push(FetchItem{Host: elHost, URL: elPath, Size: el.Size, LastModified: el.LastModified})
+		case cache.PiggybackRefreshed:
+			p.c.refreshes.Inc()
+		case cache.PiggybackMiss:
+			if p.cfg.Prefetch {
+				p.queue.Push(FetchItem{Host: elHost, URL: elPath, Size: el.Size, LastModified: el.LastModified})
+			}
 		}
 	}
 }
 
 // DrainPrefetches synchronously services up to max queued prefetches
 // (smallest first), returning how many were fetched. Prefetch requests
-// disable piggybacking to avoid speculative cascades.
+// disable piggybacking to avoid speculative cascades. Each fetch goes
+// through the same single-flight map as client misses, closing the
+// Peek-then-fetch window where two concurrent drains — or a drain racing a
+// client miss — would both fetch one key: the loser joins the winner's
+// flight (or skips) instead of issuing its own origin exchange.
 func (p *Proxy) DrainPrefetches(max int) int {
 	fetched := 0
 	for fetched < max {
@@ -615,42 +616,59 @@ func (p *Proxy) DrainPrefetches(max int) int {
 		}
 		now := p.cfg.Clock()
 		key := it.Key()
-		p.mu.Lock()
-		_, cached := p.cache.Peek(key)
-		p.mu.Unlock()
-		if cached {
+		if p.cache.Contains(key) {
 			continue
 		}
-		addr, err := p.cfg.Resolve(it.Host)
-		if err != nil {
-			p.countUpstreamError()
+		if _, shared := p.joinFlight(key); shared {
+			// Another drain or a client miss is already fetching this
+			// key; its Put will populate the cache.
 			continue
 		}
-		oreq := httpwire.NewRequest("GET", it.URL)
-		oreq.Header.Set("Host", it.Host)
-		httpwire.SetFilter(oreq, core.Filter{Disabled: true})
-		resp, err := p.client.Do(addr, oreq)
-		if err != nil {
-			p.countUpstreamError()
-			continue
+		out, ok := p.prefetchOne(it, key, now)
+		p.finishFlight(key, out)
+		if ok {
+			fetched++
 		}
-		if resp.Status != 200 {
-			continue
-		}
-		lm, _ := resp.LastModified()
-		p.mu.Lock()
-		p.c.prefetches.Inc()
-		p.cache.Put(cache.Entry{
-			URL:          key,
-			Size:         int64(len(resp.Body)),
-			LastModified: lm,
-			Expires:      now + p.delta(key),
-			FetchedAt:    now,
-			Body:         resp.Body,
-			Prefetched:   true,
-		}, now)
-		p.mu.Unlock()
-		fetched++
 	}
 	return fetched
+}
+
+// prefetchOne runs one speculative origin fetch as a flight leader. It
+// always returns a response for the flight's waiters (a joined client miss
+// is served the prefetched body) and reports whether a 200 was cached.
+func (p *Proxy) prefetchOne(it FetchItem, key string, now int64) (*httpwire.Response, bool) {
+	addr, err := p.cfg.Resolve(it.Host)
+	if err != nil {
+		p.countUpstreamError()
+		return httpwire.NewResponse(502), false
+	}
+	oreq := httpwire.NewRequest("GET", it.URL)
+	oreq.Header.Set("Host", it.Host)
+	httpwire.SetFilter(oreq, core.Filter{Disabled: true})
+	resp, err := p.client.Do(addr, oreq)
+	if err != nil {
+		p.countUpstreamError()
+		return httpwire.NewResponse(502), false
+	}
+	if resp.Status != 200 {
+		out := httpwire.NewResponse(resp.Status)
+		out.Body = resp.Body
+		return out, false
+	}
+	lm, _ := resp.LastModified()
+	ct := resp.Header.Get("Content-Type")
+	p.c.prefetches.Inc()
+	p.cache.Put(cache.Entry{
+		URL:          key,
+		Size:         int64(len(resp.Body)),
+		LastModified: lm,
+		Expires:      now + p.delta(key),
+		FetchedAt:    now,
+		Body:         resp.Body,
+		ContentType:  ct,
+		Prefetched:   true,
+	}, now)
+	out := serveCopy(resp.Body, lm, ct)
+	out.Header.Set("X-Cache", "MISS")
+	return out, true
 }

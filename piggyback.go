@@ -176,8 +176,16 @@ func NewProxy(cfg ProxyConfig) *Proxy { return proxy.New(cfg) }
 
 // Cache policies (§4 cache replacement).
 type (
-	// Cache is the byte-capacity proxy cache.
+	// Cache is the byte-capacity proxy cache (single-threaded; the
+	// trace-driven simulators use it directly).
 	Cache = cache.Cache
+	// ShardedCache is the concurrent sharded cache the proxy serves from:
+	// power-of-two shards keyed by URL hash, each with its own lock and
+	// policy instance.
+	ShardedCache = cache.Sharded
+	// CacheView is one entry's servable state, copied out of a
+	// ShardedCache under its shard lock.
+	CacheView = cache.View
 	// CacheEntry is one cached resource.
 	CacheEntry = cache.Entry
 	// CachePolicy assigns eviction priorities.
@@ -193,6 +201,22 @@ type (
 
 // NewCache returns a cache with the given capacity and policy.
 func NewCache(capacity int64, p CachePolicy) *Cache { return cache.New(capacity, p) }
+
+// NewShardedCache returns a concurrent sharded cache. shards is rounded up
+// to a power of two (zero means DefaultCacheShards); each shard gets an
+// independent policy instance from CachePolicyFactory(p).
+func NewShardedCache(capacity int64, shards int, p CachePolicy) *ShardedCache {
+	return cache.NewSharded(capacity, shards, cache.PolicyFactory(p))
+}
+
+// DefaultCacheShards returns the shard count used when none is configured:
+// the smallest power of two covering the machine's CPUs, clamped to [8, 64].
+func DefaultCacheShards() int { return cache.DefaultShards() }
+
+// CachePolicyFactory derives a per-shard policy constructor from a
+// prototype instance (stateless built-ins shared, stateful ones cloned per
+// shard, unknown implementations serialized behind one lock).
+func CachePolicyFactory(p CachePolicy) func() CachePolicy { return cache.PolicyFactory(p) }
 
 // Transparent volume center (§1, §5).
 type (
