@@ -7,6 +7,7 @@
 package piggyback_test
 
 import (
+	"context"
 	"bufio"
 	"bytes"
 	"fmt"
@@ -423,7 +424,7 @@ func BenchmarkProxyUpstreamPoolParallel(b *testing.B) {
 			path := fmt.Sprintf("/a/r%02d.html", i%nRes)
 			i++
 			req := httpwire.NewRequest("GET", "http://www.bench.test"+path)
-			resp := px.ServeWire(req)
+			resp := px.ServeWire(context.Background(), req)
 			if resp.Status != 200 {
 				b.Errorf("status %d for %s", resp.Status, path)
 				return
@@ -469,7 +470,7 @@ func BenchmarkProxyFreshHitParallel(b *testing.B) {
 	defer px.Close()
 	for i := 0; i < nRes; i++ {
 		req := httpwire.NewRequest("GET", fmt.Sprintf("http://www.bench.test/a/r%02d.html", i))
-		if resp := px.ServeWire(req); resp.Status != 200 {
+		if resp := px.ServeWire(context.Background(), req); resp.Status != 200 {
 			b.Fatalf("prime: status %d", resp.Status)
 		}
 	}
@@ -483,7 +484,7 @@ func BenchmarkProxyFreshHitParallel(b *testing.B) {
 					path := fmt.Sprintf("/a/r%02d.html", i%nRes)
 					i++
 					req := httpwire.NewRequest("GET", "http://www.bench.test"+path)
-					resp := px.ServeWire(req)
+					resp := px.ServeWire(context.Background(), req)
 					if resp.Status != 200 || resp.Header.Get("X-Cache") != "HIT" {
 						b.Errorf("%s: status %d X-Cache %q", path, resp.Status, resp.Header.Get("X-Cache"))
 						return
@@ -664,7 +665,7 @@ func benchEchoServer(b *testing.B) string {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := &httpwire.Server{Handler: httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	srv := &httpwire.Server{Handler: httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		resp := httpwire.NewResponse(200)
 		resp.Body = []byte(req.Path)
 		return resp

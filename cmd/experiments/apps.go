@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -167,12 +168,12 @@ func runE2E(l *lab) {
 			which = 1
 		}
 		req := httpwire.NewRequest("GET", "http://www.e2e.test"+replay[i].URL)
-		if _, err := client.Do(addrs[which], req); err != nil {
+		if _, err := client.DoContext(context.Background(), addrs[which], req); err != nil {
 			fmt.Println("client request:", err)
 			return
 		}
 		if i%10 == 0 {
-			proxies[which].DrainPrefetches(4)
+			proxies[which].DrainPrefetchesContext(context.Background(), 4)
 		}
 		// Content churn: a resource changes every ~40 requests, so
 		// stale validations exercise the delta-encoding path.

@@ -12,15 +12,24 @@
 //	         [-workers 1,4,16,64] [-requests 2000] [-warmup 200]
 //	         [-piggyback on,off] [-maxpiggy 10] [-delta 900]
 //	         [-think 0] [-rate 500] [-center] [-prefetch]
-//	         [-json BENCH_loadtest.json] [-seed 1]
+//	         [-fault none,brownout] [-faultseed 1] [-uptimeout 250ms]
+//	         [-maxstale 3600] [-breaker-failures 5] [-breaker-backoff 500ms]
+//	         [-breaker-off] [-json BENCH_loadtest.json] [-seed 1]
 //
 // Each scenario gets a fresh stack (empty proxy cache, fresh volumes) so
 // rows are comparable. The proxy's live /.piggy/stats endpoint is
 // snapshotted around every run; its deltas supply the proxy-side hit ratio
 // and piggyback counts in the report.
+//
+// The -fault axis wraps the origin's listener in a faultconn schedule
+// (seeded by -faultseed, so runs replay) and reports the proxy's failure
+// telemetry per scenario: stale serves, breaker opens and short-circuits,
+// and the wire.upstream.err.* class counters — p99 under brownout sits in
+// the same row for comparison against the healthy sweep.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +42,7 @@ import (
 
 	"piggyback/internal/center"
 	"piggyback/internal/core"
+	"piggyback/internal/faultconn"
 	"piggyback/internal/httpwire"
 	"piggyback/internal/loadgen"
 	"piggyback/internal/metrics"
@@ -61,6 +71,14 @@ type options struct {
 	prefetch  bool
 	jsonPath  string
 	seed      int64
+
+	faults          []string
+	faultSeed       int64
+	upTimeout       time.Duration
+	maxStale        int64
+	breakerFailures int
+	breakerBackoff  time.Duration
+	breakerOff      bool
 }
 
 // scenario is one cell of the matrix plus its outcome.
@@ -81,6 +99,15 @@ type scenario struct {
 	UpstreamDials int64 `json:"upstream_dials"`
 	PoolWaits     int64 `json:"pool_waits"`
 	UpstreamConns int64 `json:"upstream_conns_open"`
+	// Failure telemetry (nonzero only under a -fault profile): expired
+	// entries served on upstream failure, breaker activity, and upstream
+	// errors by wireerr class.
+	Fault                string           `json:"fault"`
+	StaleServes          int64            `json:"stale_serves"`
+	BreakerOpens         int64            `json:"breaker_opens"`
+	BreakerShortCircuits int64            `json:"breaker_short_circuits"`
+	UpstreamErrs         int64            `json:"upstream_errs"`
+	UpstreamErrsByClass  map[string]int64 `json:"upstream_errs_by_class,omitempty"`
 }
 
 // benchOutput is the BENCH_loadtest.json schema.
@@ -115,20 +142,24 @@ func main() {
 		Center:    opt.center,
 	}
 	tbl := &metrics.Table{Header: []string{
-		"scenario", "piggy", "workers", "reqs", "errs", "rps",
+		"scenario", "piggy", "workers", "fault", "reqs", "errs", "rps",
 		"p50ms", "p90ms", "p99ms", "maxms", "hit%", "proxyhit%",
 		"piggybacks", "elems", "origin", "dials", "poolwaits", "upconns",
+		"stale", "bropen", "uperr",
 	}}
-	for _, piggy := range opt.piggyback {
-		for _, workers := range opt.workers {
-			sc := runScenario(opt, workload, site, piggy, workers)
-			out.Scenarios = append(out.Scenarios, sc)
-			r := sc.Report
-			tbl.AddRow(sc.Name, onOff(piggy), workers, r.Requests, r.Errors,
-				r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
-				ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio), pctOrDash(r.ProxyHitRatio),
-				sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
-				sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns)
+	for _, fault := range opt.faults {
+		for _, piggy := range opt.piggyback {
+			for _, workers := range opt.workers {
+				sc := runScenario(opt, workload, site, piggy, workers, fault)
+				out.Scenarios = append(out.Scenarios, sc)
+				r := sc.Report
+				tbl.AddRow(sc.Name, onOff(piggy), workers, fault, r.Requests, r.Errors,
+					r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
+					ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio), pctOrDash(r.ProxyHitRatio),
+					sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
+					sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns,
+					sc.StaleServes, sc.BreakerOpens, sc.UpstreamErrs)
+			}
 		}
 	}
 	fmt.Println()
@@ -146,7 +177,7 @@ func main() {
 
 func parseFlags() options {
 	var opt options
-	var workers, piggy string
+	var workers, piggy, faults string
 	flag.StringVar(&opt.profile, "profile", "aiusa", "tracegen profile: aiusa|apache|sun")
 	flag.Float64Var(&opt.scale, "scale", 0.02, "workload scale factor")
 	flag.StringVar(&opt.mode, "mode", "closed", "load discipline: closed|open")
@@ -162,6 +193,18 @@ func parseFlags() options {
 	flag.BoolVar(&opt.prefetch, "prefetch", false, "enable proxy prefetching")
 	flag.StringVar(&opt.jsonPath, "json", "BENCH_loadtest.json", "machine-readable output path")
 	flag.Int64Var(&opt.seed, "seed", 1, "workload seed")
+	flag.StringVar(&faults, "fault", "none",
+		"comma-separated fault-profile axis: none|latency|truncate|blackhole|reset|brownout")
+	flag.Int64Var(&opt.faultSeed, "faultseed", 1, "fault schedule seed")
+	flag.DurationVar(&opt.upTimeout, "uptimeout", 0,
+		"proxy upstream exchange timeout (0 = client default)")
+	flag.Int64Var(&opt.maxStale, "maxstale", 3600,
+		"serve-stale-on-error window in seconds (negative disables)")
+	flag.IntVar(&opt.breakerFailures, "breaker-failures", 5,
+		"consecutive upstream failures that trip the proxy's circuit breaker")
+	flag.DurationVar(&opt.breakerBackoff, "breaker-backoff", 500*time.Millisecond,
+		"initial breaker open interval")
+	flag.BoolVar(&opt.breakerOff, "breaker-off", false, "disable the circuit breaker")
 	flag.Parse()
 
 	for _, w := range strings.Split(workers, ",") {
@@ -180,6 +223,16 @@ func parseFlags() options {
 		default:
 			log.Fatalf("loadtest: bad -piggyback element %q", p)
 		}
+	}
+	for _, f := range strings.Split(faults, ",") {
+		f = strings.TrimSpace(f)
+		if _, ok := faultconn.Profiles(f); !ok {
+			log.Fatalf("loadtest: unknown -fault profile %q", f)
+		}
+		if f == "" {
+			f = "none"
+		}
+		opt.faults = append(opt.faults, f)
 	}
 	if opt.mode != "closed" && opt.mode != "open" {
 		log.Fatalf("loadtest: bad -mode %q", opt.mode)
@@ -209,7 +262,7 @@ func buildWorkload(opt options) (trace.Log, *tracegen.Site) {
 }
 
 // runScenario stands up a fresh stack and drives one load run through it.
-func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy bool, workers int) scenario {
+func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy bool, workers int, fault string) scenario {
 	clock := func() int64 { return time.Now().Unix() }
 
 	// Origin: the site's resources, last modified well before the run.
@@ -223,10 +276,35 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 	})
 	origin := server.New(st, vols, clock)
 	ol := listen()
+	// The fault profile sits on the origin's listener, so the proxy (or
+	// center) dials through the degraded path.
+	profile, _ := faultconn.Profiles(fault)
+	fl := faultconn.NewListener(ol, profile, opt.faultSeed)
 	osrv := &httpwire.Server{Handler: origin,
 		Obs: obs.NewWireMetrics(origin.Obs(), "wire.server")}
-	go osrv.Serve(ol)
+	go osrv.Serve(fl)
 	defer osrv.Close()
+
+	// Under a fault profile, churn upstream connections during the run:
+	// persistent pooled connections only consult the fault schedule at
+	// dial time, so a run that rode one lucky healthy connection would
+	// measure nothing. Periodic aborts model the flaky-network half of a
+	// brownout (exchanges die mid-flight) and force redials through the
+	// seeded schedule.
+	if fault != "none" {
+		churnStop := make(chan struct{})
+		defer close(churnStop)
+		go func() {
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-time.After(100 * time.Millisecond):
+					fl.AbortConns()
+				}
+			}
+		}()
+	}
 
 	// Optional transparent volume center between proxy and origin.
 	upstream := ol.Addr().String()
@@ -250,9 +328,15 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 	}
 	px := proxy.New(proxy.Config{
 		Delta: opt.delta, Clock: clock,
-		Resolve:    func(string) (string, error) { return upstream, nil },
-		BaseFilter: filter,
-		Prefetch:   opt.prefetch,
+		Resolve:         func(string) (string, error) { return upstream, nil },
+		BaseFilter:      filter,
+		Prefetch:        opt.prefetch,
+		UpstreamTimeout: opt.upTimeout,
+		MaxStaleOnError: opt.maxStale,
+		BreakerFailures: opt.breakerFailures,
+		BreakerBackoff:  opt.breakerBackoff,
+		BreakerDisabled: opt.breakerOff,
+		BreakerSeed:     opt.faultSeed,
 	})
 	defer px.Close()
 	pl := listen()
@@ -266,8 +350,11 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 		mode = loadgen.Open
 	}
 	name := fmt.Sprintf("piggy=%s/workers=%d", onOff(piggy), workers)
-	fmt.Printf("running %-24s ... ", name)
-	rep, err := loadgen.Run(loadgen.Config{
+	if fault != "none" {
+		name += "/fault=" + fault
+	}
+	fmt.Printf("running %-36s ... ", name)
+	rep, err := loadgen.RunContext(context.Background(), loadgen.Config{
 		Addr:      pl.Addr().String(),
 		Records:   workload,
 		Host:      host,
@@ -285,14 +372,26 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 	}
 	fmt.Printf("%6.0f req/s, p99 %s\n", rep.ThroughputRPS, ms(rep.P99us))
 
-	sc := scenario{Name: name, Piggyback: piggy, Workers: workers, Report: rep,
-		OriginRequests: int64(origin.Stats().Requests)}
+	sc := scenario{Name: name, Piggyback: piggy, Workers: workers, Fault: fault,
+		Report: rep, OriginRequests: int64(origin.Stats().Requests)}
 	if d := rep.StatsDelta; d != nil {
 		sc.ProxyPiggybacks = d.Counter("proxy.piggybacks_received")
 		sc.ProxyElements = d.Counter("proxy.piggyback_elements")
 		sc.ProxyRefreshes = d.Counter("proxy.refreshes")
 		sc.UpstreamDials = d.Counter("wire.upstream.dials")
 		sc.PoolWaits = d.Counter("wire.upstream.pool_waits")
+		sc.StaleServes = d.Counter("proxy.stale_serves")
+		sc.BreakerOpens = d.Counter("proxy.breaker.opens")
+		sc.BreakerShortCircuits = d.Counter("proxy.breaker.short_circuits")
+		for _, class := range []string{"dial_timeout", "request_timeout", "canceled", "circuit_open", "truncated", "other"} {
+			if n := d.Counter("wire.upstream.err." + class); n > 0 {
+				if sc.UpstreamErrsByClass == nil {
+					sc.UpstreamErrsByClass = make(map[string]int64)
+				}
+				sc.UpstreamErrsByClass[class] = n
+				sc.UpstreamErrs += n
+			}
+		}
 	}
 	// conns_open is a gauge, so read the live value rather than the
 	// run-window delta: it is the pool's fan-out at the end of the sweep.

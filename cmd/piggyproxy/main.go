@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,11 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "prefetch piggybacked resources")
 	adaptive := flag.Bool("adaptive", false, "adapt Δ per resource from observed change rates")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
+	uptimeout := flag.Duration("uptimeout", 0, "upstream exchange timeout (0: wire default, 30s)")
+	breakerFails := flag.Int("breaker-failures", 5, "consecutive upstream failures that trip a host's circuit open")
+	breakerBackoff := flag.Duration("breaker-backoff", 500*time.Millisecond, "initial open interval before a half-open probe")
+	breakerOff := flag.Bool("breaker-off", false, "disable the per-host circuit breaker")
+	maxStale := flag.Int64("maxstale", 3600, "serve expired entries up to this many seconds past expiry on upstream failure (negative disables)")
 	flag.Parse()
 
 	px := piggyback.NewProxy(piggyback.ProxyConfig{
@@ -46,14 +52,21 @@ func main() {
 		Resolve:           func(host string) (string, error) { return *origin, nil },
 		Prefetch:          *prefetch,
 		AdaptiveFreshness: *adaptive,
+		UpstreamTimeout:   *uptimeout,
+		BreakerFailures:   *breakerFails,
+		BreakerBackoff:    *breakerBackoff,
+		BreakerDisabled:   *breakerOff,
+		MaxStaleOnError:   *maxStale,
 	})
 	defer px.Close()
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if *prefetch {
 		go func() {
-			for {
+			for ctx.Err() == nil {
 				time.Sleep(500 * time.Millisecond)
-				px.DrainPrefetches(8)
+				px.DrainPrefetchesContext(ctx, 8)
 			}
 		}()
 	}
@@ -62,9 +75,10 @@ func main() {
 			for {
 				time.Sleep(*statsEvery)
 				st := px.Stats()
-				fmt.Printf("piggyproxy: req=%d freshHits=%d validations=%d 304s=%d piggybacks=%d refreshes=%d invalidations=%d prefetches=%d hitRate=%.2f\n",
+				fmt.Printf("piggyproxy: req=%d freshHits=%d validations=%d 304s=%d piggybacks=%d refreshes=%d invalidations=%d prefetches=%d staleServes=%d breakerOpen=%d hitRate=%.2f\n",
 					st.ClientRequests, st.FreshHits, st.Validations, st.NotModified,
 					st.PiggybacksReceived, st.Refreshes, st.Invalidations, st.Prefetches,
+					st.StaleServes, px.BreakerOpenHosts(),
 					px.CacheHitRate())
 			}
 		}()
@@ -77,6 +91,7 @@ func main() {
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
 		fmt.Println("\npiggyproxy: shutting down")
+		cancel()
 		srv.Close()
 	}()
 

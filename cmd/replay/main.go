@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -108,7 +109,7 @@ func main() {
 		}
 		now = r.Time
 		req := piggyback.NewWireRequest("GET", "http://replay.local"+r.URL)
-		if _, err := client.Do(pl.Addr().String(), req); err != nil {
+		if _, err := client.DoContext(context.Background(), pl.Addr().String(), req); err != nil {
 			errors++
 			if errors > 10 {
 				log.Fatalf("replay: too many errors, last: %v", err)
@@ -117,7 +118,7 @@ func main() {
 		}
 		replayed++
 		if *prefetch && replayed%20 == 0 {
-			px.DrainPrefetches(4)
+			px.DrainPrefetchesContext(context.Background(), 4)
 		}
 	}
 	wall := time.Since(start)

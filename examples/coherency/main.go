@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -66,7 +67,7 @@ func main() {
 	// lastModAt answers "what version should a fresh response carry now".
 	get := func(addr, url string) (stale bool) {
 		req := piggyback.NewWireRequest("GET", "http://www.biz.example"+url)
-		resp, err := client.Do(addr, req)
+		resp, err := client.DoContext(context.Background(), addr, req)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -57,7 +58,7 @@ func main() {
 	client := piggyback.NewWireClient()
 	defer client.Close()
 	get := func(addr string) int {
-		resp, err := client.Do(addr, piggyback.NewWireRequest("GET", "http://reports.example/reports/daily.html"))
+		resp, err := client.DoContext(context.Background(), addr, piggyback.NewWireRequest("GET", "http://reports.example/reports/daily.html"))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -67,7 +68,7 @@ func main() {
 	client := piggyback.NewWireClient()
 	defer client.Close()
 	get := func(addr, url string) string {
-		resp, err := client.Do(addr, piggyback.NewWireRequest("GET", "http://www.sw.example"+url))
+		resp, err := client.DoContext(context.Background(), addr, piggyback.NewWireRequest("GET", "http://www.sw.example"+url))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func main() {
 	for _, it := range order {
 		q.Push(it)
 	}
-	n := proxyB.DrainPrefetches(10)
+	n := proxyB.DrainPrefetchesContext(context.Background(), 10)
 	fmt.Printf("-- prefetched %d resources --\n", n)
 
 	fmt.Println("-- B's clients now browse the section: --")

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -66,7 +67,7 @@ func main() {
 	defer client.Close()
 	get := func(url string) {
 		req := piggyback.NewWireRequest("GET", "http://"+url)
-		resp, err := client.Do(pl.Addr().String(), req)
+		resp, err := client.DoContext(context.Background(), pl.Addr().String(), req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func main() {
 	fmt.Printf("          Piggy-Filter: %s\n", filter.Header())
 	direct := piggyback.NewWireClient()
 	defer direct.Close()
-	resp, err := direct.Do(ol.Addr().String(), req)
+	resp, err := direct.DoContext(context.Background(), ol.Addr().String(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

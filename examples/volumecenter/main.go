@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -32,7 +33,7 @@ func main() {
 	stores["www.alpha.example"].Put(piggyback.Resource{URL: "/docs/figure.gif", Size: 2500, LastModified: now - 5000})
 	stores["www.beta.example"].Put(piggyback.Resource{URL: "/docs/other.html", Size: 1000, LastModified: now - 9999})
 
-	plain := piggyback.WireHandlerFunc(func(req *piggyback.WireRequest) *piggyback.WireResponse {
+	plain := piggyback.WireHandlerFunc(func(ctx context.Context, req *piggyback.WireRequest) *piggyback.WireResponse {
 		if req.Header.Has("Piggy-Filter") {
 			log.Fatal("piggyback header reached the plain origin — the center must strip it")
 		}
@@ -40,7 +41,7 @@ func main() {
 		if !ok {
 			return nil
 		}
-		return piggyback.NewOriginServer(st, nil, clock).ServeWire(req)
+		return piggyback.NewOriginServer(st, nil, clock).ServeWire(ctx, req)
 	})
 	ol, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -85,7 +86,7 @@ func main() {
 	client := piggyback.NewWireClient()
 	defer client.Close()
 	get := func(url string) {
-		resp, err := client.Do(pl.Addr().String(), piggyback.NewWireRequest("GET", "http://"+url))
+		resp, err := client.DoContext(context.Background(), pl.Addr().String(), piggyback.NewWireRequest("GET", "http://"+url))
 		if err != nil {
 			log.Fatal(err)
 		}

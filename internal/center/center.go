@@ -14,6 +14,7 @@
 package center
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -129,8 +130,10 @@ func splitTarget(req *httpwire.Request) (host, path string, err error) {
 	return host, t, nil
 }
 
-// ServeWire implements httpwire.Handler: relay, observe, inject.
-func (c *Center) ServeWire(req *httpwire.Request) *httpwire.Response {
+// ServeWire implements httpwire.Handler: relay, observe, inject. The
+// request context bounds the upstream relay, so a torn-down client
+// connection abandons its origin exchange.
+func (c *Center) ServeWire(ctx context.Context, req *httpwire.Request) *httpwire.Response {
 	if httpwire.IsStatsRequest(req) {
 		return httpwire.StatsResponse(c.obs)
 	}
@@ -168,7 +171,7 @@ func (c *Center) ServeWire(req *httpwire.Request) *httpwire.Response {
 		c.countError()
 		return httpwire.NewResponse(502)
 	}
-	resp, err := c.client.Do(addr, oreq)
+	resp, err := c.client.DoContext(ctx, addr, oreq)
 	if err != nil {
 		c.countError()
 		return httpwire.NewResponse(502)

@@ -1,6 +1,7 @@
 package center
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ import (
 func plainOrigin(t *testing.T, clock func() int64, hosts map[string]*server.Store) string {
 	t.Helper()
 	// One listener serving all hosts, dispatching on the Host header.
-	h := httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	h := httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		if req.Header.Has(httpwire.FieldPiggyFilter) || req.Header.Has(httpwire.FieldPiggyHits) {
 			t.Errorf("piggyback header leaked to origin")
 		}
@@ -25,7 +26,7 @@ func plainOrigin(t *testing.T, clock func() int64, hosts map[string]*server.Stor
 			return httpwire.NewResponse(404)
 		}
 		// A plain static server: no volume engine at all.
-		return server.New(st, nil, clock).ServeWire(req)
+		return server.New(st, nil, clock).ServeWire(context.Background(), req)
 	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -189,7 +190,7 @@ func TestCenterUpstreamError(t *testing.T) {
 	defer ctr.Close()
 	req := httpwire.NewRequest("GET", "/x")
 	req.Header.Set("Host", "dead.example.com")
-	if resp := ctr.ServeWire(req); resp.Status != 502 {
+	if resp := ctr.ServeWire(context.Background(), req); resp.Status != 502 {
 		t.Errorf("status = %d, want 502", resp.Status)
 	}
 }

@@ -2,6 +2,7 @@ package httpwire
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"log"
@@ -9,20 +10,37 @@ import (
 	"sync"
 	"time"
 
+	"piggyback/internal/httpwire/wireerr"
 	"piggyback/internal/obs"
 )
 
 // Handler responds to a request. Implementations must be safe for
-// concurrent use; one goroutine serves each connection.
+// concurrent use; one goroutine serves each connection. ctx is the
+// per-request context: it is cancelled when the serving connection tears
+// down or the Server is closed, so long-running handlers (upstream
+// fetches, single-flight waits) can abandon work nobody will read.
 type Handler interface {
-	ServeWire(req *Request) *Response
+	ServeWire(ctx context.Context, req *Request) *Response
 }
 
 // HandlerFunc adapts a function to Handler.
-type HandlerFunc func(*Request) *Response
+type HandlerFunc func(context.Context, *Request) *Response
 
 // ServeWire calls f.
-func (f HandlerFunc) ServeWire(req *Request) *Response { return f(req) }
+func (f HandlerFunc) ServeWire(ctx context.Context, req *Request) *Response {
+	return f(ctx, req)
+}
+
+// LegacyHandlerFunc adapts a pre-context handler function to Handler.
+//
+// Deprecated: implement Handler or use HandlerFunc; the context carries
+// cancellation the wrapped function cannot observe.
+type LegacyHandlerFunc func(*Request) *Response
+
+// ServeWire calls f, dropping the context.
+func (f LegacyHandlerFunc) ServeWire(_ context.Context, req *Request) *Response {
+	return f(req)
+}
 
 // Server serves HTTP/1.1 over a listener with persistent connections:
 // requests on one connection are handled in order, and the connection
@@ -44,7 +62,18 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	baseCtx  context.Context
+	cancel   context.CancelFunc
 	wg       sync.WaitGroup
+}
+
+// context returns the server-lifetime context, creating it on first use.
+// Caller holds s.mu.
+func (s *Server) contextLocked() context.Context {
+	if s.baseCtx == nil {
+		s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	}
+	return s.baseCtx
 }
 
 // Serve accepts connections on l until Close. It always returns a non-nil
@@ -59,6 +88,7 @@ func (s *Server) Serve(l net.Listener) error {
 	if s.conns == nil {
 		s.conns = make(map[net.Conn]struct{})
 	}
+	base := s.contextLocked()
 	s.mu.Unlock()
 
 	for {
@@ -75,7 +105,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		go s.serveConn(base, conn)
 	}
 }
 
@@ -100,11 +130,16 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close shuts the listener and all live connections, then waits for
-// connection goroutines to drain.
+// Close shuts the listener and all live connections, cancels every
+// in-flight request context, then waits for connection goroutines to
+// drain. Handlers that honor their context return promptly instead of
+// lingering until a read deadline fires.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	if s.cancel != nil {
+		s.cancel()
+	}
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
@@ -130,8 +165,13 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(base context.Context, conn net.Conn) {
 	defer s.wg.Done()
+	// The per-connection context: cancelled when this connection is done
+	// or the whole server shuts down (base). Requests served on this
+	// connection share it — a connection carries one request at a time.
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -162,7 +202,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		req.RemoteAddr = conn.RemoteAddr().String()
 		start := time.Now()
-		resp := s.Handler.ServeWire(req)
+		resp := s.Handler.ServeWire(ctx, req)
 		if resp == nil {
 			resp = NewResponse(500)
 		}
@@ -200,9 +240,12 @@ func (s *Server) serveConn(conn net.Conn) {
 // its bound, acquirers wait for a release instead of dialing — so a burst
 // of N concurrent requests coalesces onto at most MaxConnsPerHost dials.
 type Client struct {
-	// DialTimeout bounds connection establishment; zero means 5s.
+	// DialTimeout bounds connection establishment; zero means 5s. A
+	// sooner context deadline wins.
 	DialTimeout time.Duration
-	// RequestTimeout bounds one request/response exchange; zero = 30s.
+	// RequestTimeout caps one request/response exchange; zero = 30s. The
+	// effective deadline is the sooner of this cap and the caller's
+	// context deadline.
 	RequestTimeout time.Duration
 	// MaxConnsPerHost bounds the pool size per origin address; zero
 	// means 16. Requests beyond the bound queue for a released
@@ -216,8 +259,9 @@ type Client struct {
 	// on a reused connection; zero means 2ms.
 	RetryBackoff time.Duration
 	// Obs, when non-nil, receives wire-level telemetry: per-exchange
-	// round-trip latency, retries, dials, body bytes, and the pool
-	// gauges (open/idle connections, waits, reaped conns).
+	// round-trip latency, retries, dials, body bytes, per-class failure
+	// counters, and the pool gauges (open/idle connections, waits,
+	// reaped conns).
 	Obs *obs.WireMetrics
 
 	mu     sync.Mutex
@@ -287,43 +331,63 @@ func (c *Client) retryBackoff() time.Duration {
 	return 2 * time.Millisecond
 }
 
-// Do sends req to the server at addr ("host:port") and returns its
-// response, drawing a persistent connection from the per-host pool. A
+// countError records a failed exchange: the total plus its taxonomy class.
+func (c *Client) countError(err error) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Errors.Inc()
+	c.Obs.CountErrClass(wireerr.Class(err))
+}
+
+// Do sends req without a context.
+//
+// Deprecated: use DoContext so cancellation and deadlines propagate; Do is
+// DoContext with context.Background().
+func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	return c.DoContext(context.Background(), addr, req)
+}
+
+// DoContext sends req to the server at addr ("host:port") and returns its
+// response, drawing a persistent connection from the per-host pool. The
+// exchange is bounded by the sooner of ctx's deadline and RequestTimeout;
+// cancelling ctx interrupts the exchange (the connection is discarded). A
 // request that fails on a reused connection (the server may have timed it
 // out) is retried once on a fresh connection after a short backoff.
-func (c *Client) Do(addr string, req *Request) (*Response, error) {
+// Failures are classified per the wireerr taxonomy: errors.Is against
+// wireerr.ErrDialTimeout, ErrRequestTimeout, ErrCanceled, and
+// ErrTruncatedBody holds on the corresponding paths.
+func (c *Client) DoContext(ctx context.Context, addr string, req *Request) (*Response, error) {
 	start := time.Now()
-	cc, reused, err := c.acquire(addr)
+	cc, reused, err := c.acquire(ctx, addr)
 	if err != nil {
-		if c.Obs != nil {
-			c.Obs.Errors.Inc()
-		}
+		c.countError(err)
 		return nil, err
 	}
-	resp, err := c.roundTrip(cc, req)
-	if err != nil && reused {
+	resp, err := c.roundTrip(ctx, cc, req)
+	// Only retry a reused-connection failure while the caller still
+	// wants the response; a cancelled context makes the retry pointless.
+	if err != nil && reused && ctx.Err() == nil {
 		if c.Obs != nil {
 			c.Obs.Retries.Inc()
 		}
 		c.discardConn(cc)
 		time.Sleep(c.retryBackoff())
-		cc, _, err = c.acquire(addr)
+		cc, _, err = c.acquire(ctx, addr)
 		if err != nil {
-			if c.Obs != nil {
-				c.Obs.Errors.Inc()
-			}
+			c.countError(err)
 			return nil, err
 		}
-		resp, err = c.roundTrip(cc, req)
+		resp, err = c.roundTrip(ctx, cc, req)
 	}
 	if err != nil {
 		c.discardConn(cc)
-		if c.Obs != nil {
-			c.Obs.Errors.Inc()
-		}
+		c.countError(err)
 		return nil, err
 	}
-	if resp.Header.WantsClose() {
+	// A context that ended during the exchange may have poked the conn's
+	// deadline (see roundTrip); don't park a possibly-poisoned conn.
+	if resp.Header.WantsClose() || ctx.Err() != nil {
 		c.discardConn(cc)
 	} else {
 		c.releaseConn(cc)
@@ -338,14 +402,33 @@ func (c *Client) Do(addr string, req *Request) (*Response, error) {
 }
 
 // roundTrip runs one exchange on a connection the caller owns exclusively.
-func (c *Client) roundTrip(cc *clientConn, req *Request) (*Response, error) {
-	if err := cc.conn.SetDeadline(time.Now().Add(c.requestTimeout())); err != nil {
+// The connection deadline is the sooner of ctx's deadline and the flat
+// RequestTimeout; cancellation is propagated by yanking the deadline into
+// the past, which fails the blocked read/write with a net timeout that
+// wireerr.Exchange then reports as ErrCanceled.
+func (c *Client) roundTrip(ctx context.Context, cc *clientConn, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wireerr.FromContext(err)
+	}
+	deadline := time.Now().Add(c.requestTimeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := cc.conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
+	stop := context.AfterFunc(ctx, func() {
+		cc.conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
 	if err := WriteRequest(cc.bw, req); err != nil {
-		return nil, err
+		return nil, wireerr.Exchange(ctx, err)
 	}
-	return ReadResponse(cc.br, req.Method == "HEAD")
+	resp, err := ReadResponse(cc.br, req.Method == "HEAD")
+	if err != nil {
+		return nil, wireerr.Exchange(ctx, err)
+	}
+	return resp, nil
 }
 
 // getPool returns the pool for addr, creating it on first use.
@@ -371,19 +454,30 @@ func (c *Client) getPool(addr string) (*pool, error) {
 // idle one (reused), a fresh dial when the pool is under its bound, or —
 // at the bound — the next released connection. The caller must hand it
 // back via releaseConn or discardConn.
-func (c *Client) acquire(addr string) (*clientConn, bool, error) {
+func (c *Client) acquire(ctx context.Context, addr string) (*clientConn, bool, error) {
 	p, err := c.getPool(addr)
 	if err != nil {
 		return nil, false, err
 	}
-	return p.get()
+	return p.get(ctx)
 }
 
-func (p *pool) get() (*clientConn, bool, error) {
+func (p *pool) get(ctx context.Context) (*clientConn, bool, error) {
 	max := p.c.maxConnsPerHost()
+	// A cancelled waiter must wake from cond.Wait; broadcast on ctx done.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
 	p.mu.Lock()
 	waited := false
 	for {
+		if err := ctx.Err(); err != nil {
+			p.mu.Unlock()
+			return nil, false, wireerr.FromContext(err)
+		}
 		if p.closed {
 			p.mu.Unlock()
 			return nil, false, net.ErrClosed
@@ -401,7 +495,7 @@ func (p *pool) get() (*clientConn, bool, error) {
 		if p.active < max {
 			p.active++
 			p.mu.Unlock()
-			return p.dial()
+			return p.dial(ctx)
 		}
 		if !waited {
 			waited = true
@@ -414,14 +508,15 @@ func (p *pool) get() (*clientConn, bool, error) {
 }
 
 // dial establishes a new connection for a slot the caller already holds.
-func (p *pool) dial() (*clientConn, bool, error) {
-	conn, err := net.DialTimeout("tcp", p.addr, p.c.dialTimeout())
+func (p *pool) dial(ctx context.Context) (*clientConn, bool, error) {
+	d := net.Dialer{Timeout: p.c.dialTimeout()}
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
 	if err != nil {
 		p.mu.Lock()
 		p.active--
 		p.cond.Signal()
 		p.mu.Unlock()
-		return nil, false, err
+		return nil, false, wireerr.Dial(ctx, err)
 	}
 	cc := &clientConn{pool: p, conn: conn,
 		br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
@@ -467,6 +562,9 @@ func (p *pool) reapLocked(now time.Time) {
 // releaseConn returns a healthy connection to its pool's idle list.
 func (c *Client) releaseConn(cc *clientConn) {
 	p := cc.pool
+	// Clear the per-request deadline so the parked connection doesn't
+	// fail its next exchange with a stale timeout.
+	cc.conn.SetDeadline(time.Time{})
 	cc.lastUsed = time.Now()
 	p.mu.Lock()
 	if p.closed {

@@ -1,6 +1,7 @@
 package httpwire
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -25,7 +26,7 @@ func startServer(t *testing.T, h Handler) string {
 	return l.Addr().String()
 }
 
-func echoHandler(req *Request) *Response {
+func echoHandler(_ context.Context, req *Request) *Response {
 	resp := NewResponse(200)
 	resp.Body = []byte("echo:" + req.Path)
 	return resp
@@ -176,7 +177,7 @@ func TestEndToEndPiggybackExchange(t *testing.T) {
 	vols.Observe(core.Access{Source: "seed", Time: 1, Element: core.Element{URL: "/a/x.html", Size: 10, LastModified: 5}})
 	vols.Observe(core.Access{Source: "seed", Time: 2, Element: core.Element{URL: "/a/y.html", Size: 20, LastModified: 6}})
 
-	h := HandlerFunc(func(req *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, req *Request) *Response {
 		resp := NewResponse(200)
 		resp.Body = []byte("content of " + req.Path)
 		if f, ok := GetFilter(req); ok && req.AcceptsChunkedTrailer() {

@@ -1,0 +1,221 @@
+package httpwire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"piggyback/internal/faultconn"
+	"piggyback/internal/httpwire/wireerr"
+	"piggyback/internal/obs"
+)
+
+// blockingHandler waits for its context (or a release channel) before
+// answering — a stand-in for a stalled upstream exchange.
+func blockingHandler(release <-chan struct{}) Handler {
+	return HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return NewResponse(200)
+	})
+}
+
+func TestDoContextDeadlineExceeded(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	addr := startServer(t, blockingHandler(release))
+
+	reg := obs.NewRegistry()
+	c := NewClient()
+	c.Obs = obs.NewWireMetrics(reg, "wire")
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.DoContext(ctx, addr, NewRequest("GET", "/stall"))
+	if !errors.Is(err, wireerr.ErrRequestTimeout) {
+		t.Fatalf("err = %v, want errors.Is ErrRequestTimeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline ignored: returned after %v", d)
+	}
+	if got := reg.Counter("wire.err.request_timeout").Load(); got != 1 {
+		t.Fatalf("wire.err.request_timeout = %d, want 1", got)
+	}
+}
+
+func TestDoContextCancelMidExchange(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	addr := startServer(t, blockingHandler(release))
+
+	c := NewClient()
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.DoContext(ctx, addr, NewRequest("GET", "/stall"))
+	if !errors.Is(err, wireerr.ErrCanceled) {
+		t.Fatalf("err = %v, want errors.Is ErrCanceled", err)
+	}
+	if errors.Is(err, wireerr.ErrRequestTimeout) {
+		t.Fatalf("cancellation misclassified as timeout: %v", err)
+	}
+	if got := wireerr.Class(err); got != "canceled" {
+		t.Fatalf("Class(err) = %q, want canceled", got)
+	}
+}
+
+func TestDoContextPreCanceled(t *testing.T) {
+	addr := startServer(t, HandlerFunc(echoHandler))
+	c := NewClient()
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DoContext(ctx, addr, NewRequest("GET", "/x")); !errors.Is(err, wireerr.ErrCanceled) {
+		t.Fatalf("err = %v, want errors.Is ErrCanceled", err)
+	}
+}
+
+func TestDoContextReusesConnAfterDeadline(t *testing.T) {
+	// A connection poked by a deadline must not poison later requests:
+	// after a timeout the client discards it and a fresh exchange works.
+	release := make(chan struct{})
+	block := false
+	var mu sync.Mutex
+	addr := startServer(t, HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		mu.Lock()
+		b := block
+		mu.Unlock()
+		if b {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}
+		return NewResponse(200)
+	}))
+	c := NewClient()
+	defer c.Close()
+
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/warm")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	block = true
+	mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if _, err := c.DoContext(ctx, addr, NewRequest("GET", "/stall")); !errors.Is(err, wireerr.ErrRequestTimeout) {
+		t.Fatalf("err = %v, want ErrRequestTimeout", err)
+	}
+	cancel()
+	close(release)
+	mu.Lock()
+	block = false
+	mu.Unlock()
+	resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/after"))
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("exchange after timeout: %v %v", resp, err)
+	}
+}
+
+func TestTruncatedBodyClassified(t *testing.T) {
+	// The origin cuts the response mid-body; the client must surface
+	// ErrTruncatedBody, not a bare EOF.
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faultconn.NewListener(inner, faultconn.Profile{}, 1)
+	fl.SetFault(&faultconn.Fault{TruncateAfter: 256})
+	srv := &Server{Handler: HandlerFunc(func(_ context.Context, req *Request) *Response {
+		resp := NewResponse(200)
+		resp.Body = make([]byte, 8192)
+		return resp
+	})}
+	go srv.Serve(fl)
+	defer srv.Close()
+
+	c := NewClient()
+	defer c.Close()
+	_, err = c.DoContext(context.Background(), inner.Addr().String(), NewRequest("GET", "/big"))
+	if !errors.Is(err, wireerr.ErrTruncatedBody) {
+		t.Fatalf("err = %v, want errors.Is ErrTruncatedBody", err)
+	}
+	if got := wireerr.Class(err); got != "truncated" {
+		t.Fatalf("Class(err) = %q, want truncated", got)
+	}
+}
+
+// TestServerCloseReleasesBlockedHandlers is the regression test for the
+// lingering-goroutine bug: Close must cancel in-flight request contexts so
+// handlers blocked on ctx.Done() return, instead of pinning their
+// connection goroutines until the idle timeout.
+func TestServerCloseReleasesBlockedHandlers(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	started := make(chan struct{})
+	srv := &Server{Handler: HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		once.Do(func() { close(started) })
+		<-ctx.Done() // blocks until Close cancels the request context
+		return NewResponse(503)
+	})}
+	go srv.Serve(l)
+
+	c := NewClient()
+	go c.DoContext(context.Background(), l.Addr().String(), NewRequest("GET", "/hang"))
+	<-started
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Server.Close did not return while a handler was blocked")
+	}
+	c.Close()
+
+	// Goroutine count settles back to the pre-test snapshot (manual
+	// snapshot diff; no goleak dependency available).
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked after Close: before=%d after=%d\n%s",
+			before, got, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+func TestLegacyDoWrapperStillWorks(t *testing.T) {
+	addr := startServer(t, LegacyHandlerFunc(func(req *Request) *Response {
+		resp := NewResponse(200)
+		resp.Body = []byte("legacy")
+		return resp
+	}))
+	c := NewClient()
+	defer c.Close()
+	resp, err := c.Do(addr, NewRequest("GET", "/legacy"))
+	if err != nil || string(resp.Body) != "legacy" {
+		t.Fatalf("legacy Do: %v %v", resp, err)
+	}
+}

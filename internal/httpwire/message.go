@@ -112,6 +112,12 @@ func StatusText(code int) string {
 		return "Internal Server Error"
 	case 501:
 		return "Not Implemented"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
 	default:
 		return "Status " + strconv.Itoa(code)
 	}

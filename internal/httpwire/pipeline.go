@@ -1,7 +1,10 @@
 package httpwire
 
 import (
+	"context"
 	"time"
+
+	"piggyback/internal/httpwire/wireerr"
 )
 
 // Pipelining (§1: persistent connections "enable pipelining of multiple
@@ -10,22 +13,33 @@ import (
 // writes the whole batch before reading any response, so the pipe carries
 // at most one round-trip of latency for the entire page.
 
-// DoAll pipelines the requests to addr over one pooled persistent
+// DoAll pipelines the requests without a context.
+//
+// Deprecated: use DoAllContext so cancellation and deadlines propagate;
+// DoAll is DoAllContext with context.Background().
+func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
+	return c.DoAllContext(context.Background(), addr, reqs)
+}
+
+// DoAllContext pipelines the requests to addr over one pooled persistent
 // connection and returns the responses in order. On any error the
 // connection is dropped and the error returned; responses received before
 // the failure are returned alongside it. HEAD requests are pipelined
-// correctly (their responses carry no body).
-func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
+// correctly (their responses carry no body). The whole batch is bounded by
+// the sooner of ctx's deadline and the scaled RequestTimeout; cancelling
+// ctx interrupts the batch mid-flight.
+func (c *Client) DoAllContext(ctx context.Context, addr string, reqs []*Request) ([]*Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
 	start := time.Now()
-	cc, reused, err := c.acquire(addr)
+	cc, reused, err := c.acquire(ctx, addr)
 	if err != nil {
+		c.countError(err)
 		return nil, err
 	}
-	resps, err := c.pipeline(cc, reqs)
-	if err != nil && reused && len(resps) == 0 {
+	resps, err := c.pipeline(ctx, cc, reqs)
+	if err != nil && reused && len(resps) == 0 && ctx.Err() == nil {
 		// The idle connection may have been closed by the server;
 		// retry the whole batch once on a fresh connection.
 		if c.Obs != nil {
@@ -33,20 +47,19 @@ func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 		}
 		c.discardConn(cc)
 		time.Sleep(c.retryBackoff())
-		cc, _, err = c.acquire(addr)
+		cc, _, err = c.acquire(ctx, addr)
 		if err != nil {
+			c.countError(err)
 			return nil, err
 		}
-		resps, err = c.pipeline(cc, reqs)
+		resps, err = c.pipeline(ctx, cc, reqs)
 	}
 	if err != nil {
 		c.discardConn(cc)
-		if c.Obs != nil {
-			c.Obs.Errors.Inc()
-		}
+		c.countError(err)
 		return resps, err
 	}
-	drop := false
+	drop := ctx.Err() != nil // possibly-poked deadline; see DoContext
 	for _, r := range resps {
 		if r.Header.WantsClose() {
 			drop = true
@@ -72,20 +85,31 @@ func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
 }
 
 // pipeline runs one batch on a connection the caller owns exclusively.
-func (c *Client) pipeline(cc *clientConn, reqs []*Request) ([]*Response, error) {
-	if err := cc.conn.SetDeadline(deadlineFor(c, len(reqs))); err != nil {
+func (c *Client) pipeline(ctx context.Context, cc *clientConn, reqs []*Request) ([]*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wireerr.FromContext(err)
+	}
+	deadline := deadlineFor(c, len(reqs))
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := cc.conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
+	stop := context.AfterFunc(ctx, func() {
+		cc.conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
 	for _, req := range reqs {
 		if err := WriteRequest(cc.bw, req); err != nil {
-			return nil, err
+			return nil, wireerr.Exchange(ctx, err)
 		}
 	}
 	resps := make([]*Response, 0, len(reqs))
 	for _, req := range reqs {
 		resp, err := ReadResponse(cc.br, req.Method == "HEAD")
 		if err != nil {
-			return resps, err
+			return resps, wireerr.Exchange(ctx, err)
 		}
 		resps = append(resps, resp)
 	}

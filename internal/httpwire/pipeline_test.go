@@ -1,6 +1,7 @@
 package httpwire
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestPipelineWithHEAD(t *testing.T) {
 func TestPipelineWithTrailers(t *testing.T) {
 	// Piggyback trailers must frame correctly under pipelining: each
 	// chunked response terminates before the next begins.
-	h := HandlerFunc(func(req *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, req *Request) *Response {
 		resp := NewResponse(200)
 		resp.Body = []byte("body:" + req.Path)
 		if f, ok := GetFilter(req); ok && f.MaxPiggy > 0 {

@@ -1,6 +1,7 @@
 package httpwire
 
 import (
+	"context"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -90,9 +91,9 @@ func TestPoolDropsConnectionOnClose(t *testing.T) {
 func TestPoolBoundsConnsPerHost(t *testing.T) {
 	var conns int32
 	release := make(chan struct{})
-	slow := HandlerFunc(func(req *Request) *Response {
+	slow := HandlerFunc(func(ctx context.Context, req *Request) *Response {
 		<-release
-		return echoHandler(req)
+		return echoHandler(ctx, req)
 	})
 	l := listenLoopback(t)
 	counting := &countingListener{Listener: l, n: &conns}
@@ -142,9 +143,9 @@ func TestPoolBoundsConnsPerHost(t *testing.T) {
 
 func TestPoolSpreadsConcurrentRequests(t *testing.T) {
 	release := make(chan struct{})
-	slow := HandlerFunc(func(req *Request) *Response {
+	slow := HandlerFunc(func(ctx context.Context, req *Request) *Response {
 		<-release
-		return echoHandler(req)
+		return echoHandler(ctx, req)
 	})
 	addr := startServer(t, slow)
 	c := NewClient()
@@ -204,9 +205,9 @@ func TestPoolReapsIdleConns(t *testing.T) {
 func TestPoolCloseUnblocksWaiters(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	slow := HandlerFunc(func(req *Request) *Response {
+	slow := HandlerFunc(func(ctx context.Context, req *Request) *Response {
 		<-release
-		return echoHandler(req)
+		return echoHandler(ctx, req)
 	})
 	addr := startServer(t, slow)
 	c := NewClient()

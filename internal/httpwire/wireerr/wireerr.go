@@ -1,0 +1,133 @@
+// Package wireerr defines the typed error taxonomy of the wire layer:
+// every failure mode a request can hit on its way to an origin — dial
+// timeouts, exchange timeouts, caller cancellation, an open circuit
+// breaker, a response cut off mid-body — has one errors.Is-able sentinel,
+// so callers branch on failure class instead of parsing error strings, and
+// the telemetry layer can count each class separately
+// (wire.upstream.err.*).
+//
+// The package depends on nothing in the repository so any layer (httpwire,
+// proxy, obs consumers) can import it without cycles.
+package wireerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// The taxonomy. Wrap sites use fmt.Errorf("...: %w", Err...) (often
+// chaining the underlying error with a second %w) so errors.Is holds on
+// every path out of the wire layer.
+var (
+	// ErrDialTimeout: connection establishment to the upstream timed out.
+	ErrDialTimeout = errors.New("wire: dial timeout")
+	// ErrRequestTimeout: a request/response exchange exceeded its
+	// deadline — the per-request timeout or the caller's context deadline,
+	// whichever was sooner.
+	ErrRequestTimeout = errors.New("wire: request timeout")
+	// ErrCanceled: the caller's context was canceled before the exchange
+	// completed. Not an upstream fault — circuit breakers must not count
+	// it.
+	ErrCanceled = errors.New("wire: canceled")
+	// ErrCircuitOpen: the per-host circuit breaker is open; the request
+	// was refused without dialing.
+	ErrCircuitOpen = errors.New("wire: circuit open")
+	// ErrTruncatedBody: the connection closed before a complete response
+	// was read (mid-chunk, mid-body, or before the status line).
+	ErrTruncatedBody = errors.New("wire: truncated body")
+)
+
+// Class buckets an error for metrics: one of "dial_timeout",
+// "request_timeout", "canceled", "circuit_open", "truncated", or "other".
+// The class names match the wire.upstream.err.* counter suffixes
+// obs.WireMetrics registers.
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open"
+	case errors.Is(err, ErrDialTimeout):
+		return "dial_timeout"
+	case errors.Is(err, ErrRequestTimeout):
+		return "request_timeout"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrTruncatedBody):
+		return "truncated"
+	default:
+		return "other"
+	}
+}
+
+// FromContext maps a context error (ctx.Err()) into the taxonomy: a
+// deadline becomes ErrRequestTimeout, a cancellation ErrCanceled. The
+// original error stays in the chain, so errors.Is against
+// context.DeadlineExceeded / context.Canceled holds too.
+func FromContext(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrRequestTimeout, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+}
+
+// Exchange classifies an error from a request/response exchange whose
+// connection deadline was derived from ctx. Cancellation and deadline
+// expiry surface as net timeouts on the connection, so the context is
+// consulted first to tell "the caller gave up" from "the upstream stalled".
+func Exchange(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if alreadyClassified(err) {
+		return err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %w", ErrRequestTimeout, err)
+		}
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("%w: %w", ErrRequestTimeout, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		// The peer closed (or was cut) before a complete response.
+		return fmt.Errorf("%w: %w", ErrTruncatedBody, err)
+	}
+	return err
+}
+
+// Dial classifies an error from connection establishment under ctx.
+func Dial(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if alreadyClassified(err) {
+		return err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(ctxErr, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	var nerr net.Error
+	if (errors.As(err, &nerr) && nerr.Timeout()) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDialTimeout, err)
+	}
+	return err
+}
+
+// alreadyClassified reports whether err carries a taxonomy sentinel, so
+// classifying twice (e.g. acquire inside Do) never double-wraps.
+func alreadyClassified(err error) bool {
+	return errors.Is(err, ErrDialTimeout) || errors.Is(err, ErrRequestTimeout) ||
+		errors.Is(err, ErrCanceled) || errors.Is(err, ErrCircuitOpen) ||
+		errors.Is(err, ErrTruncatedBody)
+}

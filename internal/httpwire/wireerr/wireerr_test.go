@@ -1,0 +1,138 @@
+package wireerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// timeoutErr is a minimal net.Error with Timeout() == true, standing in for
+// the os.ErrDeadlineExceeded-wrapped errors a net.Conn returns after
+// SetDeadline fires.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrDialTimeout, "dial_timeout"},
+		{ErrRequestTimeout, "request_timeout"},
+		{ErrCanceled, "canceled"},
+		{ErrCircuitOpen, "circuit_open"},
+		{ErrTruncatedBody, "truncated"},
+		{fmt.Errorf("do host: %w", ErrRequestTimeout), "request_timeout"},
+		{fmt.Errorf("%w: %w", ErrTruncatedBody, io.ErrUnexpectedEOF), "truncated"},
+		{errors.New("some dial failure"), "other"},
+	}
+	for _, tc := range cases {
+		if got := Class(tc.err); got != tc.want {
+			t.Errorf("Class(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestExchangeClassification(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+
+	cases := []struct {
+		name string
+		ctx  context.Context
+		err  error
+		want error
+	}{
+		{"nil", context.Background(), nil, nil},
+		{"deadline ctx wins", expired, timeoutErr{}, ErrRequestTimeout},
+		{"canceled ctx wins", canceled, timeoutErr{}, ErrCanceled},
+		{"net timeout", context.Background(), timeoutErr{}, ErrRequestTimeout},
+		{"eof is truncation", context.Background(), io.EOF, ErrTruncatedBody},
+		{"unexpected eof is truncation", context.Background(), io.ErrUnexpectedEOF, ErrTruncatedBody},
+		{"wrapped eof is truncation", context.Background(), fmt.Errorf("read body: %w", io.ErrUnexpectedEOF), ErrTruncatedBody},
+		{"already classified passes through", context.Background(), fmt.Errorf("x: %w", ErrDialTimeout), ErrDialTimeout},
+	}
+	for _, tc := range cases {
+		got := Exchange(tc.ctx, tc.err)
+		if tc.want == nil {
+			if got != nil {
+				t.Errorf("%s: Exchange = %v, want nil", tc.name, got)
+			}
+			continue
+		}
+		if !errors.Is(got, tc.want) {
+			t.Errorf("%s: Exchange(%v) = %v, not Is(%v)", tc.name, tc.err, got, tc.want)
+		}
+	}
+
+	// The cause must stay in the chain.
+	got := Exchange(context.Background(), io.ErrUnexpectedEOF)
+	if !errors.Is(got, io.ErrUnexpectedEOF) {
+		t.Errorf("Exchange lost the cause: %v", got)
+	}
+	if Class(got) != "truncated" {
+		t.Errorf("Class(%v) = %q, want truncated", got, Class(got))
+	}
+}
+
+func TestDialClassification(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []struct {
+		name string
+		ctx  context.Context
+		err  error
+		want error
+	}{
+		{"nil", context.Background(), nil, nil},
+		{"net timeout", context.Background(), timeoutErr{}, ErrDialTimeout},
+		{"ctx deadline", context.Background(), context.DeadlineExceeded, ErrDialTimeout},
+		{"ctx canceled", canceled, errors.New("dial: operation canceled"), ErrCanceled},
+	}
+	for _, tc := range cases {
+		got := Dial(tc.ctx, tc.err)
+		if tc.want == nil {
+			if got != nil {
+				t.Errorf("%s: Dial = %v, want nil", tc.name, got)
+			}
+			continue
+		}
+		if !errors.Is(got, tc.want) {
+			t.Errorf("%s: Dial(%v) = %v, not Is(%v)", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if got := FromContext(context.DeadlineExceeded); !errors.Is(got, ErrRequestTimeout) || !errors.Is(got, context.DeadlineExceeded) {
+		t.Errorf("FromContext(DeadlineExceeded) = %v", got)
+	}
+	if got := FromContext(context.Canceled); !errors.Is(got, ErrCanceled) || !errors.Is(got, context.Canceled) {
+		t.Errorf("FromContext(Canceled) = %v", got)
+	}
+	if got := FromContext(nil); got != nil {
+		t.Errorf("FromContext(nil) = %v", got)
+	}
+}
+
+func TestNoDoubleWrap(t *testing.T) {
+	// Re-classifying an already-classified error must not re-wrap it into a
+	// different (or nested) class.
+	err := Exchange(context.Background(), io.EOF) // → truncated
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	again := Exchange(canceled, err)
+	if !errors.Is(again, ErrTruncatedBody) || errors.Is(again, ErrCanceled) {
+		t.Errorf("double classification changed class: %v", again)
+	}
+}

@@ -21,6 +21,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -133,6 +134,10 @@ type Report struct {
 	CacheHits int64   `json:"cache_hits"`
 	HitRatio  float64 `json:"hit_ratio"`
 
+	// StaleHits counts X-Cache: STALE responses in the measured window —
+	// expired entries the proxy served because the upstream was failing.
+	StaleHits int64 `json:"stale_hits"`
+
 	// ProxyHitRatio is fresh_hits/client_requests from the stats
 	// endpoint over the whole run; -1 when StatsAddr was not set or the
 	// endpoint was unreachable. StatsDelta holds the full windowed
@@ -154,12 +159,23 @@ type run struct {
 	dropped   atomic.Int64
 	bytesIn   atomic.Int64
 	cacheHits atomic.Int64
+	staleHits atomic.Int64
 	measStart atomic.Int64 // UnixNano of the warmup boundary
 	hist      *obs.Histogram
 }
 
-// Run executes the configured workload and returns its report.
+// Run executes the configured workload without a context.
+//
+// Deprecated: use RunContext so a run can be cancelled mid-flight; Run is
+// RunContext with context.Background().
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the configured workload and returns its report.
+// Cancelling ctx stops issuing new requests and interrupts in-flight
+// exchanges (counted as errors).
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -192,9 +208,9 @@ func Run(cfg Config) (*Report, error) {
 		r.measStart.Store(start.UnixNano())
 	}
 	if cfg.Mode == Open {
-		r.runOpen()
+		r.runOpen(ctx)
 	} else {
-		r.runClosed()
+		r.runClosed(ctx)
 	}
 	end := time.Now()
 
@@ -232,10 +248,10 @@ func targets(records trace.Log, host string) []string {
 
 // exchange issues one request and records its outcome. It returns false on
 // error (the caller's loop continues either way; pacing is unaffected).
-func (r *run) exchange(client *httpwire.Client, n int64) bool {
+func (r *run) exchange(ctx context.Context, client *httpwire.Client, n int64) bool {
 	url := r.urls[(n-1)%int64(len(r.urls))]
 	t0 := time.Now()
-	resp, err := client.Do(r.cfg.Addr, httpwire.NewRequest("GET", url))
+	resp, err := client.DoContext(ctx, r.cfg.Addr, httpwire.NewRequest("GET", url))
 	if err != nil {
 		r.errors.Add(1)
 		return false
@@ -250,8 +266,11 @@ func (r *run) exchange(client *httpwire.Client, n int64) bool {
 	case done > warm:
 		r.hist.Observe(lat.Microseconds())
 		r.bytesIn.Add(int64(len(resp.Body)))
-		if resp.Header.Get("X-Cache") == "HIT" {
+		switch resp.Header.Get("X-Cache") {
+		case "HIT":
 			r.cacheHits.Add(1)
+		case "STALE":
+			r.staleHits.Add(1)
 		}
 	}
 	return true
@@ -264,7 +283,7 @@ func (r *run) newClient() *httpwire.Client {
 }
 
 // runClosed runs the fixed worker population.
-func (r *run) runClosed() {
+func (r *run) runClosed(ctx context.Context) {
 	var wg sync.WaitGroup
 	for w := 0; w < r.cfg.Workers; w++ {
 		wg.Add(1)
@@ -274,11 +293,14 @@ func (r *run) runClosed() {
 			defer client.Close()
 			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				n := r.issued.Add(1)
 				if n > r.total {
 					return
 				}
-				r.exchange(client, n)
+				r.exchange(ctx, client, n)
 				if r.cfg.Think > 0 {
 					time.Sleep(time.Duration(rng.ExpFloat64() * float64(r.cfg.Think)))
 				}
@@ -291,7 +313,7 @@ func (r *run) runClosed() {
 // runOpen paces arrivals at cfg.Rate. The in-flight bound doubles as a
 // connection pool: a channel of clients is the semaphore, so each
 // concurrent exchange rides its own persistent connection.
-func (r *run) runOpen() {
+func (r *run) runOpen(ctx context.Context) {
 	slots := make(chan *httpwire.Client, r.cfg.Workers)
 	for i := 0; i < r.cfg.Workers; i++ {
 		slots <- r.newClient()
@@ -300,6 +322,9 @@ func (r *run) runOpen() {
 	var wg sync.WaitGroup
 	next := time.Now()
 	for n := int64(1); n <= r.total; n++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
@@ -309,7 +334,7 @@ func (r *run) runOpen() {
 			wg.Add(1)
 			go func(client *httpwire.Client, n int64) {
 				defer wg.Done()
-				r.exchange(client, n)
+				r.exchange(ctx, client, n)
 				slots <- client
 			}(client, n)
 		default:
@@ -343,6 +368,7 @@ func (r *run) report(end time.Time) *Report {
 		MeanUs:        lat.Mean(),
 		BytesIn:       r.bytesIn.Load(),
 		CacheHits:     r.cacheHits.Load(),
+		StaleHits:     r.staleHits.Load(),
 		ProxyHitRatio: -1,
 		Latency:       lat,
 	}

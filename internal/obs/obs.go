@@ -462,25 +462,67 @@ type WireMetrics struct {
 	ConnsIdle  *Counter // gauge: connections parked on the idle list
 	PoolWaits  *Counter // acquisitions that blocked on the per-host bound
 	IdleClosed *Counter // idle connections reaped past IdleConnTimeout
+
+	// Per-class failure counters, one per wireerr taxonomy class
+	// (prefix.err.dial_timeout and peers). Errors above stays the total.
+	ErrDialTimeout    *Counter
+	ErrRequestTimeout *Counter
+	ErrCanceled       *Counter
+	ErrCircuitOpen    *Counter
+	ErrTruncated      *Counter
+	ErrOther          *Counter
+}
+
+// CountErrClass increments the failure counter for a wireerr class string
+// (as returned by wireerr.Class): "dial_timeout", "request_timeout",
+// "canceled", "circuit_open", "truncated", or anything else → other. The
+// parameter is a string rather than an error so obs stays free of wire
+// dependencies. A nil receiver or empty class is a no-op.
+func (m *WireMetrics) CountErrClass(class string) {
+	if m == nil || class == "" {
+		return
+	}
+	switch class {
+	case "dial_timeout":
+		m.ErrDialTimeout.Inc()
+	case "request_timeout":
+		m.ErrRequestTimeout.Inc()
+	case "canceled":
+		m.ErrCanceled.Inc()
+	case "circuit_open":
+		m.ErrCircuitOpen.Inc()
+	case "truncated":
+		m.ErrTruncated.Inc()
+	default:
+		m.ErrOther.Inc()
+	}
 }
 
 // NewWireMetrics registers wire metrics under prefix (e.g. "wire.server")
 // in r: prefix.requests, prefix.errors, prefix.retries, prefix.dials,
-// prefix.bytes_in, prefix.bytes_out, prefix.latency_us, plus the pool
-// gauges prefix.conns_open, prefix.conns_idle, prefix.pool_waits, and
-// prefix.idle_closed.
+// prefix.bytes_in, prefix.bytes_out, prefix.latency_us, the pool gauges
+// prefix.conns_open, prefix.conns_idle, prefix.pool_waits, and
+// prefix.idle_closed, plus per-class failure counters
+// prefix.err.{dial_timeout,request_timeout,canceled,circuit_open,
+// truncated,other}.
 func NewWireMetrics(r *Registry, prefix string) *WireMetrics {
 	return &WireMetrics{
-		Requests:   r.Counter(prefix + ".requests"),
-		Errors:     r.Counter(prefix + ".errors"),
-		Retries:    r.Counter(prefix + ".retries"),
-		Dials:      r.Counter(prefix + ".dials"),
-		BytesIn:    r.Counter(prefix + ".bytes_in"),
-		BytesOut:   r.Counter(prefix + ".bytes_out"),
-		Latency:    r.Histogram(prefix+".latency_us", LatencyBuckets()),
-		ConnsOpen:  r.Counter(prefix + ".conns_open"),
-		ConnsIdle:  r.Counter(prefix + ".conns_idle"),
-		PoolWaits:  r.Counter(prefix + ".pool_waits"),
-		IdleClosed: r.Counter(prefix + ".idle_closed"),
+		Requests:          r.Counter(prefix + ".requests"),
+		Errors:            r.Counter(prefix + ".errors"),
+		Retries:           r.Counter(prefix + ".retries"),
+		Dials:             r.Counter(prefix + ".dials"),
+		BytesIn:           r.Counter(prefix + ".bytes_in"),
+		BytesOut:          r.Counter(prefix + ".bytes_out"),
+		Latency:           r.Histogram(prefix+".latency_us", LatencyBuckets()),
+		ConnsOpen:         r.Counter(prefix + ".conns_open"),
+		ConnsIdle:         r.Counter(prefix + ".conns_idle"),
+		PoolWaits:         r.Counter(prefix + ".pool_waits"),
+		IdleClosed:        r.Counter(prefix + ".idle_closed"),
+		ErrDialTimeout:    r.Counter(prefix + ".err.dial_timeout"),
+		ErrRequestTimeout: r.Counter(prefix + ".err.request_timeout"),
+		ErrCanceled:       r.Counter(prefix + ".err.canceled"),
+		ErrCircuitOpen:    r.Counter(prefix + ".err.circuit_open"),
+		ErrTruncated:      r.Counter(prefix + ".err.truncated"),
+		ErrOther:          r.Counter(prefix + ".err.other"),
 	}
 }

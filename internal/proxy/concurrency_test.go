@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -26,7 +27,7 @@ func startOrigin(t *testing.T, h httpwire.Handler) string {
 }
 
 func proxyGet(p *Proxy, url string) *httpwire.Response {
-	return p.ServeWire(httpwire.NewRequest("GET", "http://"+url))
+	return p.ServeWire(context.Background(), httpwire.NewRequest("GET", "http://"+url))
 }
 
 // TestServeWireConcurrentHammer is the -race regression test for the
@@ -48,7 +49,7 @@ func proxyGet(p *Proxy, url string) *httpwire.Response {
 // race-free.
 func TestStaleReadRacesWithConcurrentRewrite(t *testing.T) {
 	var version atomic.Int64
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		v := version.Add(1)
 		resp := httpwire.NewResponse(200)
 		resp.Body = []byte(fmt.Sprintf("rewrite-version-%06d", v))
@@ -107,7 +108,7 @@ func TestStaleReadRacesWithConcurrentRewrite(t *testing.T) {
 
 func TestServeWireConcurrentHammer(t *testing.T) {
 	var version atomic.Int64
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		v := version.Add(1)
 		resp := httpwire.NewResponse(200)
 		resp.Body = []byte(fmt.Sprintf("body-version-%06d", v))
@@ -155,7 +156,7 @@ func TestSingleFlightDeduplicatesMisses(t *testing.T) {
 	var originReqs atomic.Int64
 	leaderIn := make(chan struct{}, 1)
 	release := make(chan struct{})
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		originReqs.Add(1)
 		leaderIn <- struct{}{}
 		<-release
@@ -218,7 +219,7 @@ func TestSingleFlightDeduplicatesMisses(t *testing.T) {
 func TestUnexpectedConditionalStatusMapsTo502(t *testing.T) {
 	for _, status := range []int{304, 226} {
 		t.Run(fmt.Sprintf("status%d", status), func(t *testing.T) {
-			origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+			origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 				if req.Header.Has("If-Modified-Since") {
 					t.Errorf("unconditional request carried If-Modified-Since")
 				}
@@ -258,7 +259,7 @@ func TestUnexpectedConditionalStatusMapsTo502(t *testing.T) {
 // pointer into the cache.
 func TestStaleValidationServesValidatedCopy(t *testing.T) {
 	var mode atomic.Int64 // 0: serve v1; 1: 304 everything
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		if mode.Load() == 1 && req.Header.Has("If-Modified-Since") {
 			return httpwire.NewResponse(304)
 		}

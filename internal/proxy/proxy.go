@@ -7,14 +7,18 @@
 package proxy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"piggyback/internal/cache"
 	"piggyback/internal/core"
 	"piggyback/internal/delta"
 	"piggyback/internal/httpwire"
+	"piggyback/internal/httpwire/wireerr"
 	"piggyback/internal/obs"
 )
 
@@ -63,6 +67,28 @@ type Config struct {
 	// MinDelta/MaxDelta clamp adaptive Δ; zero means Delta/10 and
 	// Delta*24.
 	MinDelta, MaxDelta int64
+	// UpstreamTimeout caps one upstream exchange (the client's
+	// RequestTimeout); zero keeps the wire default (30s).
+	UpstreamTimeout time.Duration
+	// BreakerFailures is the consecutive-failure threshold that trips a
+	// host's circuit open; zero means 5.
+	BreakerFailures int
+	// BreakerBackoff is the initial open interval before a half-open
+	// probe (jittered 0.5×–1.5×, doubling per failed probe up to
+	// BreakerMaxBackoff); zeros mean 500ms and 30s.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// BreakerDisabled turns the per-host circuit breaker off.
+	BreakerDisabled bool
+	// BreakerSeed seeds the breaker's backoff jitter; zero means 1
+	// (deterministic by default).
+	BreakerSeed int64
+	// MaxStaleOnError bounds serve-stale-on-error: on a qualifying
+	// upstream failure (or an open circuit) an expired cache entry is
+	// still served — marked X-Cache: STALE with Warning: 110 — if it
+	// expired no more than this many seconds ago. Zero means 3600;
+	// negative disables serve-stale (failures surface as 502/504).
+	MaxStaleOnError int64
 }
 
 // Stats counts proxy-side protocol activity.
@@ -103,6 +129,13 @@ type Stats struct {
 	SingleflightShared int
 	// UpstreamErrors counts failed origin exchanges.
 	UpstreamErrors int
+	// StaleServes counts responses served from an expired cache entry
+	// because the upstream was failing (X-Cache: STALE).
+	StaleServes int
+	// BreakerOpens counts circuit-open transitions; BreakerShortCircuits
+	// counts requests refused without dialing while a circuit was open.
+	BreakerOpens         int
+	BreakerShortCircuits int
 }
 
 // Proxy is a caching piggybacking proxy, served over httpwire.
@@ -129,6 +162,11 @@ type Proxy struct {
 	// origin exchange.
 	sfMu    sync.Mutex
 	flights map[string]*flight
+
+	// breaker is the per-host circuit breaker (nil when disabled): it
+	// trips after consecutive upstream failures so a dead origin costs a
+	// map lookup instead of a dial timeout per request.
+	breaker *breaker
 }
 
 // flight is one in-progress leader fetch. resp is written once, before
@@ -158,6 +196,7 @@ type proxyCounters struct {
 	deltaBytesSaved    *obs.Counter
 	singleflightShared *obs.Counter
 	upstreamErrors     *obs.Counter
+	staleServes        *obs.Counter
 }
 
 // New returns a Proxy for cfg.
@@ -181,6 +220,9 @@ func New(cfg Config) *Proxy {
 	}
 	if cfg.MaxDelta <= 0 {
 		cfg.MaxDelta = cfg.Delta * 24
+	}
+	if cfg.MaxStaleOnError == 0 {
+		cfg.MaxStaleOnError = 3600
 	}
 	reg := obs.NewRegistry()
 	p := &Proxy{
@@ -210,7 +252,22 @@ func New(cfg Config) *Proxy {
 			deltaBytesSaved:    reg.Counter("proxy.delta_bytes_saved"),
 			singleflightShared: reg.Counter("proxy.singleflight_shared"),
 			upstreamErrors:     reg.Counter("proxy.upstream_errors"),
+			staleServes:        reg.Counter("proxy.stale_serves"),
 		},
+	}
+	if !cfg.BreakerDisabled {
+		seed := cfg.BreakerSeed
+		if seed == 0 {
+			seed = 1
+		}
+		p.breaker = newBreaker(breakerSettings{
+			failures:   cfg.BreakerFailures,
+			backoff:    cfg.BreakerBackoff,
+			maxBackoff: cfg.BreakerMaxBackoff,
+		}, reg, seed)
+	}
+	if cfg.UpstreamTimeout > 0 {
+		p.client.RequestTimeout = cfg.UpstreamTimeout
 	}
 	// The upstream client's wire metrics (round-trip latency, retries,
 	// dials) land in the same registry under wire.upstream.*, and the
@@ -225,7 +282,7 @@ func New(cfg Config) *Proxy {
 
 // Stats returns a snapshot of the counters.
 func (p *Proxy) Stats() Stats {
-	return Stats{
+	s := Stats{
 		ClientRequests:     int(p.c.clientRequests.Load()),
 		FreshHits:          int(p.c.freshHits.Load()),
 		Validations:        int(p.c.validations.Load()),
@@ -243,8 +300,18 @@ func (p *Proxy) Stats() Stats {
 		DeltaBytesSaved:    p.c.deltaBytesSaved.Load(),
 		SingleflightShared: int(p.c.singleflightShared.Load()),
 		UpstreamErrors:     int(p.c.upstreamErrors.Load()),
+		StaleServes:        int(p.c.staleServes.Load()),
 	}
+	if p.breaker != nil {
+		s.BreakerOpens = int(p.breaker.opens.Load())
+		s.BreakerShortCircuits = int(p.breaker.shortCircuits.Load())
+	}
+	return s
 }
+
+// BreakerOpenHosts returns how many upstream hosts currently have a
+// tripped circuit (the proxy.breaker.open gauge).
+func (p *Proxy) BreakerOpenHosts() int { return p.breaker.OpenHosts() }
 
 // Obs returns the proxy's telemetry registry (also served live on
 // obs.StatsPath).
@@ -295,10 +362,13 @@ type upstreamState struct {
 	cachedLM        int64
 	cachedBody      []byte
 	cachedCT        string
+	cachedExpires   int64
 }
 
-// ServeWire implements httpwire.Handler.
-func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
+// ServeWire implements httpwire.Handler. ctx is the per-request context:
+// cancellation (connection teardown, server shutdown) propagates into the
+// upstream exchange and detaches single-flight followers.
+func (p *Proxy) ServeWire(ctx context.Context, req *httpwire.Request) *httpwire.Response {
 	if httpwire.IsStatsRequest(req) {
 		return httpwire.StatsResponse(p.obs)
 	}
@@ -320,16 +390,16 @@ func (p *Proxy) ServeWire(req *httpwire.Request) *httpwire.Response {
 	if !st.hit {
 		// Cold key: de-duplicate concurrent misses. Only one goroutine
 		// fetches; the rest share its response.
-		if shared, ok := p.joinFlight(key); ok {
+		if shared, ok := p.joinFlight(ctx, key); ok {
 			p.c.singleflightShared.Inc()
 			return shared
 		}
-		out := p.fetch(st, now)
+		out := p.fetch(ctx, st, now)
 		p.finishFlight(key, out)
 		return out
 	}
 	// Stale copy: each holder validates with its own conditional GET.
-	return p.fetch(st, now)
+	return p.fetch(ctx, st, now)
 }
 
 // lookup runs the cache-side half of a request. It returns a response for
@@ -356,17 +426,24 @@ func (p *Proxy) lookup(key, host, path string, now int64) (upstreamState, *httpw
 		st.cachedLM = v.LastModified
 		st.cachedBody = v.Body
 		st.cachedCT = v.ContentType
+		st.cachedExpires = v.Expires
 	}
 	return st, nil
 }
 
 // joinFlight waits on an existing flight for key and returns its shared
-// response, or registers the caller as the flight leader (ok == false).
-func (p *Proxy) joinFlight(key string) (*httpwire.Response, bool) {
+// response, or registers the caller as the flight leader (ok == false). A
+// follower whose ctx ends detaches with a gateway-timeout response; the
+// leader's fetch — and the other waiters — are unaffected.
+func (p *Proxy) joinFlight(ctx context.Context, key string) (*httpwire.Response, bool) {
 	p.sfMu.Lock()
 	if f, ok := p.flights[key]; ok {
 		p.sfMu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return httpwire.NewResponse(504), true
+		}
 		out := httpwire.NewResponse(f.resp.Status)
 		for k, v := range f.resp.Header {
 			out.Header[k] = v
@@ -391,8 +468,15 @@ func (p *Proxy) finishFlight(key string, out *httpwire.Response) {
 }
 
 // fetch runs the upstream exchange for st — conditional when a stale copy
-// exists (§2.1) — and the per-shard cache update that follows.
-func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
+// exists (§2.1) — and the per-shard cache update that follows. On an open
+// circuit or a qualifying upstream failure it degrades to the expired
+// cached copy (X-Cache: STALE) when one is within MaxStaleOnError.
+func (p *Proxy) fetch(ctx context.Context, st upstreamState, now int64) *httpwire.Response {
+	if !p.breaker.Allow(st.host) {
+		p.client.Obs.CountErrClass("circuit_open")
+		return p.degrade(st, now, wireerr.ErrCircuitOpen)
+	}
+
 	// Snapshot the filter state (the RPV table locks internally) and
 	// drain this host's pending hit reports from its stripe.
 	filter := p.cfg.BaseFilter
@@ -419,11 +503,15 @@ func (p *Proxy) fetch(st upstreamState, now int64) *httpwire.Response {
 		p.countUpstreamError()
 		return httpwire.NewResponse(502)
 	}
-	resp, err := p.client.Do(addr, oreq)
+	resp, err := p.client.DoContext(ctx, addr, oreq)
 	if err != nil {
 		p.countUpstreamError()
-		return httpwire.NewResponse(502)
+		if qualifyingFailure(err) {
+			p.breaker.Failure(st.host)
+		}
+		return p.degrade(st, now, err)
 	}
+	p.breaker.Success(st.host)
 
 	key := st.key
 
@@ -547,6 +635,34 @@ func serveCopy(body []byte, lastModified int64, contentType string) *httpwire.Re
 
 func (p *Proxy) countUpstreamError() { p.c.upstreamErrors.Inc() }
 
+// qualifyingFailure reports whether an upstream error should feed the
+// circuit breaker. Caller cancellation is the client's fault, not the
+// origin's.
+func qualifyingFailure(err error) bool {
+	return err != nil && !errors.Is(err, wireerr.ErrCanceled)
+}
+
+// degrade answers a request whose upstream exchange failed (err carries
+// the wireerr class; it may be ErrCircuitOpen). The coherency/availability
+// tradeoff of §5 tilts toward availability: an expired-but-present cached
+// copy that expired no more than MaxStaleOnError seconds ago is served
+// with X-Cache: STALE and Warning: 110 rather than failing the client.
+// With no servable copy, timeouts map to 504 and everything else to 502.
+func (p *Proxy) degrade(st upstreamState, now int64, err error) *httpwire.Response {
+	if st.hit && p.cfg.MaxStaleOnError >= 0 && !errors.Is(err, wireerr.ErrCanceled) &&
+		now <= st.cachedExpires+p.cfg.MaxStaleOnError {
+		p.c.staleServes.Inc()
+		out := serveCopy(st.cachedBody, st.cachedLM, st.cachedCT)
+		out.Header.Set("X-Cache", "STALE")
+		out.Header.Set("Warning", `110 - "Response is Stale"`)
+		return out
+	}
+	if errors.Is(err, wireerr.ErrRequestTimeout) || errors.Is(err, wireerr.ErrDialTimeout) {
+		return httpwire.NewResponse(504)
+	}
+	return httpwire.NewResponse(502)
+}
+
 // delta returns the freshness interval for key.
 func (p *Proxy) delta(key string) int64 {
 	if p.fresh != nil {
@@ -600,16 +716,28 @@ func (p *Proxy) processPiggyback(host string, m core.Message, now int64) {
 	}
 }
 
-// DrainPrefetches synchronously services up to max queued prefetches
-// (smallest first), returning how many were fetched. Prefetch requests
-// disable piggybacking to avoid speculative cascades. Each fetch goes
-// through the same single-flight map as client misses, closing the
-// Peek-then-fetch window where two concurrent drains — or a drain racing a
-// client miss — would both fetch one key: the loser joins the winner's
-// flight (or skips) instead of issuing its own origin exchange.
+// DrainPrefetches services queued prefetches without a context.
+//
+// Deprecated: use DrainPrefetchesContext so a shutdown can interrupt the
+// drain; this is DrainPrefetchesContext with context.Background().
 func (p *Proxy) DrainPrefetches(max int) int {
+	return p.DrainPrefetchesContext(context.Background(), max)
+}
+
+// DrainPrefetchesContext synchronously services up to max queued
+// prefetches (smallest first), returning how many were fetched; it stops
+// early when ctx ends. Prefetch requests disable piggybacking to avoid
+// speculative cascades. Each fetch goes through the same single-flight map
+// as client misses, closing the Peek-then-fetch window where two
+// concurrent drains — or a drain racing a client miss — would both fetch
+// one key: the loser joins the winner's flight (or skips) instead of
+// issuing its own origin exchange.
+func (p *Proxy) DrainPrefetchesContext(ctx context.Context, max int) int {
 	fetched := 0
 	for fetched < max {
+		if ctx.Err() != nil {
+			return fetched
+		}
 		it, ok := p.queue.Pop()
 		if !ok {
 			return fetched
@@ -619,12 +747,12 @@ func (p *Proxy) DrainPrefetches(max int) int {
 		if p.cache.Contains(key) {
 			continue
 		}
-		if _, shared := p.joinFlight(key); shared {
+		if _, shared := p.joinFlight(ctx, key); shared {
 			// Another drain or a client miss is already fetching this
 			// key; its Put will populate the cache.
 			continue
 		}
-		out, ok := p.prefetchOne(it, key, now)
+		out, ok := p.prefetchOne(ctx, it, key, now)
 		p.finishFlight(key, out)
 		if ok {
 			fetched++
@@ -636,7 +764,12 @@ func (p *Proxy) DrainPrefetches(max int) int {
 // prefetchOne runs one speculative origin fetch as a flight leader. It
 // always returns a response for the flight's waiters (a joined client miss
 // is served the prefetched body) and reports whether a 200 was cached.
-func (p *Proxy) prefetchOne(it FetchItem, key string, now int64) (*httpwire.Response, bool) {
+func (p *Proxy) prefetchOne(ctx context.Context, it FetchItem, key string, now int64) (*httpwire.Response, bool) {
+	if !p.breaker.Allow(it.Host) {
+		// Don't burn speculative fetches against a tripped host.
+		p.client.Obs.CountErrClass("circuit_open")
+		return httpwire.NewResponse(502), false
+	}
 	addr, err := p.cfg.Resolve(it.Host)
 	if err != nil {
 		p.countUpstreamError()
@@ -645,11 +778,15 @@ func (p *Proxy) prefetchOne(it FetchItem, key string, now int64) (*httpwire.Resp
 	oreq := httpwire.NewRequest("GET", it.URL)
 	oreq.Header.Set("Host", it.Host)
 	httpwire.SetFilter(oreq, core.Filter{Disabled: true})
-	resp, err := p.client.Do(addr, oreq)
+	resp, err := p.client.DoContext(ctx, addr, oreq)
 	if err != nil {
 		p.countUpstreamError()
+		if qualifyingFailure(err) {
+			p.breaker.Failure(it.Host)
+		}
 		return httpwire.NewResponse(502), false
 	}
+	p.breaker.Success(it.Host)
 	if resp.Status != 200 {
 		out := httpwire.NewResponse(resp.Status)
 		out.Body = resp.Body

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -280,7 +281,7 @@ func TestProxyUpstreamErrorIs502(t *testing.T) {
 	})
 	defer p.Close()
 	req := httpwire.NewRequest("GET", "http://dead.example.com/x")
-	resp := p.ServeWire(req)
+	resp := p.ServeWire(context.Background(), req)
 	if resp.Status != 502 {
 		t.Errorf("status = %d, want 502", resp.Status)
 	}

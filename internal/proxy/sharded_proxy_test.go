@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,7 +20,7 @@ func TestDrainPrefetchJoinsClientMissFlight(t *testing.T) {
 	var originReqs atomic.Int64
 	leaderIn := make(chan struct{}, 1)
 	release := make(chan struct{})
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		originReqs.Add(1)
 		leaderIn <- struct{}{}
 		<-release
@@ -89,7 +90,7 @@ func TestDrainSkipsKeyAlreadyInFlight(t *testing.T) {
 	var originReqs atomic.Int64
 	leaderIn := make(chan struct{}, 1)
 	release := make(chan struct{})
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		originReqs.Add(1)
 		leaderIn <- struct{}{}
 		<-release
@@ -137,7 +138,7 @@ func TestDrainSkipsKeyAlreadyInFlight(t *testing.T) {
 func TestProxyServesContentType(t *testing.T) {
 	const ct = "text/html; charset=utf-8"
 	var validate atomic.Bool
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		if validate.Load() && req.Header.Has("If-Modified-Since") {
 			return httpwire.NewResponse(304)
 		}
@@ -180,7 +181,7 @@ func TestProxyServesContentType(t *testing.T) {
 // hits past the 32-path per-host reporting bound are dropped and counted,
 // and the next upstream request carries exactly the buffered 32.
 func TestHitsDroppedBeyondPerHostBound(t *testing.T) {
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		resp := httpwire.NewResponse(200)
 		resp.Body = []byte("x")
 		resp.Header.Set("Last-Modified", httpwire.FormatHTTPDate(2000))
@@ -227,7 +228,7 @@ func TestHitsDroppedBeyondPerHostBound(t *testing.T) {
 func TestProxyMixedConcurrentHammer(t *testing.T) {
 	const keys = 30
 	var originReqs atomic.Int64
-	origin := startOrigin(t, httpwire.HandlerFunc(func(req *httpwire.Request) *httpwire.Response {
+	origin := startOrigin(t, httpwire.HandlerFunc(func(_ context.Context, req *httpwire.Request) *httpwire.Response {
 		n := originReqs.Add(1)
 		if req.Header.Has("If-Modified-Since") && n%2 == 0 {
 			return httpwire.NewResponse(304)

@@ -7,6 +7,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -242,7 +243,9 @@ func acceptsBlockdiff(req *httpwire.Request) bool {
 
 // ServeWire implements httpwire.Handler: GET/HEAD with If-Modified-Since
 // validation, delta encoding (A-IM: blockdiff), and piggyback trailers.
-func (s *Server) ServeWire(req *httpwire.Request) *httpwire.Response {
+// The origin answers from memory, so the request context is unused beyond
+// satisfying the handler contract.
+func (s *Server) ServeWire(_ context.Context, req *httpwire.Request) *httpwire.Response {
 	if httpwire.IsStatsRequest(req) {
 		return httpwire.StatsResponse(s.obs)
 	}

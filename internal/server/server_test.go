@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"bytes"
 	"testing"
 
@@ -22,7 +23,7 @@ func get(path string) *httpwire.Request { return httpwire.NewRequest("GET", path
 
 func TestServeBasicGet(t *testing.T) {
 	s, _ := testServer(2000)
-	resp := s.ServeWire(get("/a/x.html"))
+	resp := s.ServeWire(context.Background(), get("/a/x.html"))
 	if resp.Status != 200 {
 		t.Fatalf("status = %d", resp.Status)
 	}
@@ -39,11 +40,11 @@ func TestServeBasicGet(t *testing.T) {
 
 func TestServe404And501(t *testing.T) {
 	s, _ := testServer(2000)
-	if resp := s.ServeWire(get("/missing")); resp.Status != 404 {
+	if resp := s.ServeWire(context.Background(), get("/missing")); resp.Status != 404 {
 		t.Errorf("status = %d, want 404", resp.Status)
 	}
 	req := httpwire.NewRequest("DELETE", "/a/x.html")
-	if resp := s.ServeWire(req); resp.Status != 501 {
+	if resp := s.ServeWire(context.Background(), req); resp.Status != 501 {
 		t.Errorf("status = %d, want 501", resp.Status)
 	}
 	st := s.Stats()
@@ -56,7 +57,7 @@ func TestIfModifiedSinceValidation(t *testing.T) {
 	s, _ := testServer(2000)
 	req := get("/a/x.html")
 	req.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(1000))
-	resp := s.ServeWire(req)
+	resp := s.ServeWire(context.Background(), req)
 	if resp.Status != 304 {
 		t.Fatalf("status = %d, want 304 (IMS == LM)", resp.Status)
 	}
@@ -66,7 +67,7 @@ func TestIfModifiedSinceValidation(t *testing.T) {
 	// Older copy: full response.
 	req2 := get("/a/x.html")
 	req2.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(500))
-	if resp := s.ServeWire(req2); resp.Status != 200 {
+	if resp := s.ServeWire(context.Background(), req2); resp.Status != 200 {
 		t.Errorf("status = %d, want 200 (stale copy)", resp.Status)
 	}
 	if s.Stats().NotModified != 1 {
@@ -77,10 +78,10 @@ func TestIfModifiedSinceValidation(t *testing.T) {
 func TestPiggybackOnlyForCooperatingProxies(t *testing.T) {
 	s, _ := testServer(2000)
 	// Warm the volume.
-	s.ServeWire(get("/a/y.gif"))
+	s.ServeWire(context.Background(), get("/a/y.gif"))
 
 	// Plain request: no piggyback even though the volume has content.
-	resp := s.ServeWire(get("/a/x.html"))
+	resp := s.ServeWire(context.Background(), get("/a/x.html"))
 	if _, ok := httpwire.ExtractPiggyback(resp); ok {
 		t.Error("piggyback sent without a filter")
 	}
@@ -88,7 +89,7 @@ func TestPiggybackOnlyForCooperatingProxies(t *testing.T) {
 	// Filter but no TE: chunked: still no piggyback.
 	req := get("/a/x.html")
 	req.Header.Set(httpwire.FieldPiggyFilter, "maxpiggy=5")
-	resp = s.ServeWire(req)
+	resp = s.ServeWire(context.Background(), req)
 	if _, ok := httpwire.ExtractPiggyback(resp); ok {
 		t.Error("piggyback sent without TE: chunked")
 	}
@@ -96,7 +97,7 @@ func TestPiggybackOnlyForCooperatingProxies(t *testing.T) {
 	// Proper piggybacking request.
 	req2 := get("/a/x.html")
 	httpwire.SetFilter(req2, core.Filter{MaxPiggy: 5})
-	resp = s.ServeWire(req2)
+	resp = s.ServeWire(context.Background(), req2)
 	m, ok := httpwire.ExtractPiggyback(resp)
 	if !ok {
 		t.Fatal("no piggyback for cooperating proxy")
@@ -123,11 +124,11 @@ func TestPiggybackOnlyForCooperatingProxies(t *testing.T) {
 
 func TestPiggybackOn304(t *testing.T) {
 	s, _ := testServer(2000)
-	s.ServeWire(get("/a/y.gif"))
+	s.ServeWire(context.Background(), get("/a/y.gif"))
 	req := get("/a/x.html")
 	req.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(1000))
 	httpwire.SetFilter(req, core.Filter{MaxPiggy: 5})
-	resp := s.ServeWire(req)
+	resp := s.ServeWire(context.Background(), req)
 	if resp.Status != 304 {
 		t.Fatalf("status = %d", resp.Status)
 	}
@@ -141,7 +142,7 @@ func TestModifyInvalidatesValidation(t *testing.T) {
 	store.Modify("/a/x.html", 1800, 0)
 	req := get("/a/x.html")
 	req.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(1000))
-	resp := s.ServeWire(req)
+	resp := s.ServeWire(context.Background(), req)
 	if resp.Status != 200 {
 		t.Fatalf("status = %d, want 200 after modification", resp.Status)
 	}
@@ -222,7 +223,7 @@ func TestServerWithoutVolumes(t *testing.T) {
 	s := New(st, nil, func() int64 { return 10 })
 	req := get("/x")
 	httpwire.SetFilter(req, core.Filter{MaxPiggy: 5})
-	resp := s.ServeWire(req)
+	resp := s.ServeWire(context.Background(), req)
 	if resp.Status != 200 {
 		t.Fatalf("status = %d", resp.Status)
 	}

@@ -27,12 +27,16 @@
 package piggyback
 
 import (
+	"context"
 	"io"
+	"net"
 
 	"piggyback/internal/cache"
 	"piggyback/internal/center"
 	"piggyback/internal/core"
+	"piggyback/internal/faultconn"
 	"piggyback/internal/httpwire"
+	"piggyback/internal/httpwire/wireerr"
 	"piggyback/internal/loadgen"
 	"piggyback/internal/obs"
 	"piggyback/internal/proxy"
@@ -117,11 +121,63 @@ type (
 	WireServer = httpwire.Server
 	// WireClient issues requests over persistent connections.
 	WireClient = httpwire.Client
-	// WireHandler responds to requests.
+	// WireHandler responds to requests; the per-request context is
+	// cancelled on connection teardown and server shutdown.
 	WireHandler = httpwire.Handler
-	// WireHandlerFunc adapts a function to WireHandler.
+	// WireHandlerFunc adapts a context-taking function to WireHandler.
 	WireHandlerFunc = httpwire.HandlerFunc
+	// LegacyWireHandlerFunc adapts a pre-context function to WireHandler.
+	//
+	// Deprecated: use WireHandlerFunc; the wrapped function cannot
+	// observe cancellation.
+	LegacyWireHandlerFunc = httpwire.LegacyHandlerFunc
 )
+
+// Wire-layer failure taxonomy (errors.Is-able; see internal/httpwire/wireerr).
+var (
+	// ErrDialTimeout: upstream connection establishment timed out.
+	ErrDialTimeout = wireerr.ErrDialTimeout
+	// ErrRequestTimeout: an exchange exceeded its deadline (flat timeout
+	// or context deadline).
+	ErrRequestTimeout = wireerr.ErrRequestTimeout
+	// ErrCanceled: the caller's context was cancelled mid-exchange.
+	ErrCanceled = wireerr.ErrCanceled
+	// ErrCircuitOpen: the proxy's per-host circuit breaker refused the
+	// request without dialing.
+	ErrCircuitOpen = wireerr.ErrCircuitOpen
+	// ErrTruncatedBody: the connection closed before a complete response.
+	ErrTruncatedBody = wireerr.ErrTruncatedBody
+)
+
+// WireErrClass buckets a wire-layer error into its taxonomy class name
+// ("dial_timeout", "request_timeout", "canceled", "circuit_open",
+// "truncated", or "other") — the suffixes of the wire.upstream.err.*
+// telemetry counters.
+func WireErrClass(err error) string { return wireerr.Class(err) }
+
+// Fault injection (testing and load scenarios).
+type (
+	// Fault describes what one connection does to its traffic: first-byte
+	// latency, mid-body truncation, blackholing, or an immediate reset.
+	Fault = faultconn.Fault
+	// FaultProfile is a probabilistic per-connection fault schedule.
+	FaultProfile = faultconn.Profile
+	// FaultListener wraps a net.Listener, applying a seeded deterministic
+	// fault schedule to accepted connections.
+	FaultListener = faultconn.Listener
+)
+
+// NewFaultListener wraps inner with the profile, drawing per-connection
+// faults deterministically from seed.
+func NewFaultListener(inner net.Listener, profile FaultProfile, seed int64) *FaultListener {
+	return faultconn.NewListener(inner, profile, seed)
+}
+
+// FaultProfileByName resolves a named fault profile ("none", "latency",
+// "truncate", "blackhole", "reset", "brownout").
+func FaultProfileByName(name string) (FaultProfile, bool) {
+	return faultconn.Profiles(name)
+}
 
 // NewWireRequest returns a request for the given method and path.
 func NewWireRequest(method, path string) *WireRequest { return httpwire.NewRequest(method, path) }
@@ -370,8 +426,16 @@ func NewWireMetrics(r *ObsRegistry, prefix string) *WireMetrics {
 // StatsPath is the origin-form URL path serving a live ObsSnapshot.
 const StatsPath = obs.StatsPath
 
-// RunLoad drives a workload against a live stack; see internal/loadgen.
+// RunLoad drives a workload against a live stack without a context.
+//
+// Deprecated: use RunLoadContext so a run can be cancelled mid-flight.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) { return loadgen.Run(cfg) }
+
+// RunLoadContext drives a workload against a live stack; cancelling ctx
+// stops the run. See internal/loadgen.
+func RunLoadContext(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	return loadgen.RunContext(ctx, cfg)
+}
 
 // FetchStats retrieves a live telemetry snapshot from addr's stats
 // endpoint.
