@@ -12,14 +12,26 @@
 //	         [-workers 1,4,16,64] [-requests 2000] [-warmup 200]
 //	         [-piggyback on,off] [-maxpiggy 10] [-delta 900]
 //	         [-think 0] [-rate 500] [-center] [-prefetch]
+//	         [-proxies 1,3] [-peering on,off] [-cachemb 64]
+//	         [-hotkey 0.3] [-killpeer]
 //	         [-fault none,brownout] [-faultseed 1] [-uptimeout 250ms]
 //	         [-maxstale 3600] [-breaker-failures 5] [-breaker-backoff 500ms]
 //	         [-breaker-off] [-json BENCH_loadtest.json] [-seed 1]
 //
 // Each scenario gets a fresh stack (empty proxy cache, fresh volumes) so
-// rows are comparable. The proxy's live /.piggy/stats endpoint is
-// snapshotted around every run; its deltas supply the proxy-side hit ratio
-// and piggyback counts in the report.
+// rows are comparable. The proxies' live /.piggy/stats endpoints are
+// snapshotted around every run; their merged deltas supply the proxy-side
+// hit ratio and piggyback counts in the report.
+//
+// The -proxies axis stands up a fleet: closed-loop workers pin to members
+// round-robin, and with -peering on the members form a consistent-hash
+// cooperative mesh (misses route to the key's ring owner before the
+// origin; X-Cache: PEER, the peerhit% column). -peering off is the
+// independent-caches baseline: same fleet, same aggregate -cachemb
+// capacity, but every member fetches from the origin itself — the origin
+// column shows what the mesh saves. -hotkey skews the workload onto one
+// URL; -killpeer kills the last member mid-run to demonstrate
+// fallback-to-origin with zero client-visible errors.
 //
 // The -fault axis wraps the origin's listener in a faultconn schedule
 // (seeded by -faultseed, so runs replay) and reports the proxy's failure
@@ -34,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
@@ -79,6 +92,12 @@ type options struct {
 	breakerFailures int
 	breakerBackoff  time.Duration
 	breakerOff      bool
+
+	proxies  []int
+	peering  []bool
+	cacheMB  int64
+	hotKey   float64
+	killPeer bool
 }
 
 // scenario is one cell of the matrix plus its outcome.
@@ -86,6 +105,10 @@ type scenario struct {
 	Name      string          `json:"name"`
 	Piggyback bool            `json:"piggyback"`
 	Workers   int             `json:"workers"`
+	Proxies   int             `json:"proxies"`
+	Peering   bool            `json:"peering"`
+	HotKey    float64         `json:"hot_key,omitempty"`
+	KillPeer  bool            `json:"kill_peer,omitempty"`
 	Report    *loadgen.Report `json:"report"`
 	// Proxy-side windowed counters for the run (from /.piggy/stats).
 	ProxyPiggybacks int64 `json:"proxy_piggybacks"`
@@ -108,6 +131,14 @@ type scenario struct {
 	BreakerShortCircuits int64            `json:"breaker_short_circuits"`
 	UpstreamErrs         int64            `json:"upstream_errs"`
 	UpstreamErrsByClass  map[string]int64 `json:"upstream_errs_by_class,omitempty"`
+	// Mesh telemetry (fleet-merged peer.* counters, nonzero only with
+	// -proxies > 1 and peering on): forwards routed to ring owners, the
+	// subset answered by the peer, forwards that fell back to the origin,
+	// and piggyback messages re-propagated across the fleet.
+	PeerForwards     int64 `json:"peer_forwards"`
+	PeerServes       int64 `json:"peer_serves"`
+	PeerFallbacks    int64 `json:"peer_fallbacks"`
+	PeerPropagations int64 `json:"peer_propagations"`
 }
 
 // benchOutput is the BENCH_loadtest.json schema.
@@ -142,23 +173,39 @@ func main() {
 		Center:    opt.center,
 	}
 	tbl := &metrics.Table{Header: []string{
-		"scenario", "piggy", "workers", "fault", "reqs", "errs", "rps",
-		"p50ms", "p90ms", "p99ms", "maxms", "hit%", "proxyhit%",
+		"scenario", "piggy", "workers", "proxies", "peer", "fault", "reqs", "errs", "rps",
+		"p50ms", "p90ms", "p99ms", "maxms", "hit%", "peerhit%", "proxyhit%",
 		"piggybacks", "elems", "origin", "dials", "poolwaits", "upconns",
-		"stale", "bropen", "uperr",
+		"stale", "bropen", "uperr", "pfwd", "pfall", "prop",
 	}}
 	for _, fault := range opt.faults {
 		for _, piggy := range opt.piggyback {
-			for _, workers := range opt.workers {
-				sc := runScenario(opt, workload, site, piggy, workers, fault)
-				out.Scenarios = append(out.Scenarios, sc)
-				r := sc.Report
-				tbl.AddRow(sc.Name, onOff(piggy), workers, fault, r.Requests, r.Errors,
-					r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
-					ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio), pctOrDash(r.ProxyHitRatio),
-					sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
-					sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns,
-					sc.StaleServes, sc.BreakerOpens, sc.UpstreamErrs)
+			for _, nproxies := range opt.proxies {
+				// A single proxy has no mesh: the peering axis collapses
+				// to one (identical) row.
+				peerAxis := opt.peering
+				if nproxies == 1 {
+					peerAxis = opt.peering[:1]
+				}
+				for _, peering := range peerAxis {
+					for _, workers := range opt.workers {
+						sc := runScenario(opt, workload, site, cell{
+							piggy: piggy, workers: workers, fault: fault,
+							proxies: nproxies, peering: peering,
+						})
+						out.Scenarios = append(out.Scenarios, sc)
+						r := sc.Report
+						tbl.AddRow(sc.Name, onOff(piggy), workers, sc.Proxies, onOff(sc.Peering),
+							fault, r.Requests, r.Errors,
+							r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
+							ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio),
+							metrics.Pct(r.PeerHitRatio), pctOrDash(r.ProxyHitRatio),
+							sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
+							sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns,
+							sc.StaleServes, sc.BreakerOpens, sc.UpstreamErrs,
+							sc.PeerForwards, sc.PeerFallbacks, sc.PeerPropagations)
+					}
+				}
 			}
 		}
 	}
@@ -205,6 +252,16 @@ func parseFlags() options {
 	flag.DurationVar(&opt.breakerBackoff, "breaker-backoff", 500*time.Millisecond,
 		"initial breaker open interval")
 	flag.BoolVar(&opt.breakerOff, "breaker-off", false, "disable the circuit breaker")
+	var proxies, peering string
+	flag.StringVar(&proxies, "proxies", "1", "comma-separated fleet-size axis (e.g. 1,3)")
+	flag.StringVar(&peering, "peering", "on",
+		"cooperative-mesh axis for multi-proxy fleets: on, off, or on,off")
+	flag.Int64Var(&opt.cacheMB, "cachemb", 64,
+		"aggregate fleet cache capacity in MiB, split evenly across -proxies")
+	flag.Float64Var(&opt.hotKey, "hotkey", 0,
+		"hot-key skew: fraction of requests redirected to one popular URL (e.g. 0.3)")
+	flag.BoolVar(&opt.killPeer, "killpeer", false,
+		"kill the last fleet member once half the requests have completed (requires -proxies > 1)")
 	flag.Parse()
 
 	for _, w := range strings.Split(workers, ",") {
@@ -213,6 +270,26 @@ func parseFlags() options {
 			log.Fatalf("loadtest: bad -workers element %q", w)
 		}
 		opt.workers = append(opt.workers, n)
+	}
+	for _, p := range strings.Split(proxies, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			log.Fatalf("loadtest: bad -proxies element %q", p)
+		}
+		opt.proxies = append(opt.proxies, n)
+	}
+	for _, p := range strings.Split(peering, ",") {
+		switch strings.TrimSpace(p) {
+		case "on":
+			opt.peering = append(opt.peering, true)
+		case "off":
+			opt.peering = append(opt.peering, false)
+		default:
+			log.Fatalf("loadtest: bad -peering element %q", p)
+		}
+	}
+	if opt.hotKey < 0 || opt.hotKey >= 1 {
+		log.Fatalf("loadtest: -hotkey %g must be in [0, 1)", opt.hotKey)
 	}
 	for _, p := range strings.Split(piggy, ",") {
 		switch strings.TrimSpace(p) {
@@ -258,11 +335,42 @@ func buildWorkload(opt options) (trace.Log, *tracegen.Site) {
 	}
 	cfg.Seed = opt.seed
 	workload, site := tracegen.GenerateServerLog(cfg)
-	return workload.Clean(), site
+	return applyHotKey(workload.Clean(), opt), site
+}
+
+// applyHotKey skews the workload: a -hotkey fraction of the records are
+// redirected (seeded, reproducible) to the trace's first URL, modeling a
+// flash-crowd resource. On a mesh this concentrates the hot key on one
+// ring owner; every other fleet member should absorb it as a local cache
+// hit after its first peer fetch.
+func applyHotKey(workload trace.Log, opt options) trace.Log {
+	if opt.hotKey <= 0 || len(workload) == 0 {
+		return workload
+	}
+	hot := workload[0].URL
+	rng := rand.New(rand.NewSource(opt.seed * 31))
+	out := make(trace.Log, len(workload))
+	copy(out, workload)
+	for i := range out {
+		if rng.Float64() < opt.hotKey {
+			out[i].URL = hot
+		}
+	}
+	return out
+}
+
+// cell is one coordinate of the scenario matrix.
+type cell struct {
+	piggy   bool
+	workers int
+	proxies int
+	peering bool
+	fault   string
 }
 
 // runScenario stands up a fresh stack and drives one load run through it.
-func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy bool, workers int, fault string) scenario {
+func runScenario(opt options, workload trace.Log, site *tracegen.Site, c cell) scenario {
+	piggy, workers, fault := c.piggy, c.workers, c.fault
 	clock := func() int64 { return time.Now().Unix() }
 
 	// Origin: the site's resources, last modified well before the run.
@@ -326,46 +434,112 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 	if !piggy {
 		filter = core.Filter{Disabled: true}
 	}
-	px := proxy.New(proxy.Config{
-		Delta: opt.delta, Clock: clock,
-		Resolve:         func(string) (string, error) { return upstream, nil },
-		BaseFilter:      filter,
-		Prefetch:        opt.prefetch,
-		UpstreamTimeout: opt.upTimeout,
-		MaxStaleOnError: opt.maxStale,
-		BreakerFailures: opt.breakerFailures,
-		BreakerBackoff:  opt.breakerBackoff,
-		BreakerDisabled: opt.breakerOff,
-		BreakerSeed:     opt.faultSeed,
-	})
-	defer px.Close()
-	pl := listen()
-	psrv := &httpwire.Server{Handler: px,
-		Obs: obs.NewWireMetrics(px.Obs(), "wire.server")}
-	go psrv.Serve(pl)
-	defer psrv.Close()
+
+	// The fleet: -proxies members, each with an equal slice of the
+	// aggregate -cachemb capacity so fleet sizes compare at constant total
+	// cache. With peering on, every member advertises its own listener
+	// address and the full member list; with peering off the members are
+	// independent caches (the "N separate proxies" baseline).
+	nproxies := c.proxies
+	if nproxies <= 0 {
+		nproxies = 1
+	}
+	pls := make([]net.Listener, nproxies)
+	addrs := make([]string, nproxies)
+	for i := range pls {
+		pls[i] = listen()
+		addrs[i] = pls[i].Addr().String()
+	}
+	pxs := make([]*proxy.Proxy, nproxies)
+	psrvs := make([]*httpwire.Server, nproxies)
+	for i := range pxs {
+		pcfg := proxy.Config{
+			CacheBytes: opt.cacheMB << 20 / int64(nproxies),
+			Delta:      opt.delta, Clock: clock,
+			Resolve:         func(string) (string, error) { return upstream, nil },
+			BaseFilter:      filter,
+			Prefetch:        opt.prefetch,
+			UpstreamTimeout: opt.upTimeout,
+			MaxStaleOnError: opt.maxStale,
+			BreakerFailures: opt.breakerFailures,
+			BreakerBackoff:  opt.breakerBackoff,
+			BreakerDisabled: opt.breakerOff,
+			BreakerSeed:     opt.faultSeed,
+		}
+		if c.peering && nproxies > 1 {
+			pcfg.PeerSelf = addrs[i]
+			pcfg.Peers = addrs
+		}
+		pxs[i] = proxy.New(pcfg)
+		defer pxs[i].Close()
+		psrvs[i] = &httpwire.Server{Handler: pxs[i],
+			Obs: obs.NewWireMetrics(pxs[i].Obs(), "wire.server")}
+		go psrvs[i].Serve(pls[i])
+		defer psrvs[i].Close()
+	}
+
+	// With -killpeer, clients drive every member except the victim (the
+	// last one), which participates only as a ring owner; once half the
+	// requests have completed it is killed, and the survivors' forwards
+	// into its partition must fall back to the origin with no
+	// client-visible errors.
+	targetAddrs := addrs
+	killPeer := opt.killPeer && nproxies > 1
+	if killPeer {
+		targetAddrs = addrs[:nproxies-1]
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			half := opt.requests / 2
+			for {
+				select {
+				case <-done:
+					return
+				case <-time.After(10 * time.Millisecond):
+				}
+				total := 0
+				for _, p := range pxs[:nproxies-1] {
+					total += p.Stats().ClientRequests
+				}
+				if total >= half {
+					psrvs[nproxies-1].Close()
+					pls[nproxies-1].Close()
+					return
+				}
+			}
+		}()
+	}
 
 	mode := loadgen.Closed
 	if opt.mode == "open" {
 		mode = loadgen.Open
 	}
 	name := fmt.Sprintf("piggy=%s/workers=%d", onOff(piggy), workers)
+	if nproxies > 1 {
+		name += fmt.Sprintf("/proxies=%d/peering=%s", nproxies, onOff(c.peering))
+	}
+	if opt.hotKey > 0 {
+		name += fmt.Sprintf("/hotkey=%.2g", opt.hotKey)
+	}
+	if killPeer {
+		name += "/killpeer"
+	}
 	if fault != "none" {
 		name += "/fault=" + fault
 	}
-	fmt.Printf("running %-36s ... ", name)
+	fmt.Printf("running %-48s ... ", name)
 	rep, err := loadgen.RunContext(context.Background(), loadgen.Config{
-		Addr:      pl.Addr().String(),
-		Records:   workload,
-		Host:      host,
-		Mode:      mode,
-		Workers:   workers,
-		Think:     opt.think,
-		Rate:      opt.rate,
-		Requests:  opt.requests,
-		Warmup:    opt.warmup,
-		Seed:      opt.seed,
-		StatsAddr: pl.Addr().String(),
+		Addrs:      targetAddrs,
+		Records:    workload,
+		Host:       host,
+		Mode:       mode,
+		Workers:    workers,
+		Think:      opt.think,
+		Rate:       opt.rate,
+		Requests:   opt.requests,
+		Warmup:     opt.warmup,
+		Seed:       opt.seed,
+		StatsAddrs: targetAddrs,
 	})
 	if err != nil {
 		log.Fatalf("loadtest: scenario %s: %v", name, err)
@@ -373,6 +547,8 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 	fmt.Printf("%6.0f req/s, p99 %s\n", rep.ThroughputRPS, ms(rep.P99us))
 
 	sc := scenario{Name: name, Piggyback: piggy, Workers: workers, Fault: fault,
+		Proxies: nproxies, Peering: c.peering && nproxies > 1,
+		HotKey: opt.hotKey, KillPeer: killPeer,
 		Report: rep, OriginRequests: int64(origin.Stats().Requests)}
 	if d := rep.StatsDelta; d != nil {
 		sc.ProxyPiggybacks = d.Counter("proxy.piggybacks_received")
@@ -383,6 +559,10 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 		sc.StaleServes = d.Counter("proxy.stale_serves")
 		sc.BreakerOpens = d.Counter("proxy.breaker.opens")
 		sc.BreakerShortCircuits = d.Counter("proxy.breaker.short_circuits")
+		sc.PeerForwards = d.Counter("peer.forwards")
+		sc.PeerServes = d.Counter("peer.serves")
+		sc.PeerFallbacks = d.Counter("peer.fallbacks")
+		sc.PeerPropagations = d.Counter("peer.propagations_sent")
 		for _, class := range []string{"dial_timeout", "request_timeout", "canceled", "circuit_open", "truncated", "other"} {
 			if n := d.Counter("wire.upstream.err." + class); n > 0 {
 				if sc.UpstreamErrsByClass == nil {
@@ -394,8 +574,11 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, piggy boo
 		}
 	}
 	// conns_open is a gauge, so read the live value rather than the
-	// run-window delta: it is the pool's fan-out at the end of the sweep.
-	sc.UpstreamConns = px.Obs().Snapshot().Counter("wire.upstream.conns_open")
+	// run-window delta: it is the fleet's origin fan-out at the end of the
+	// sweep.
+	for _, p := range pxs {
+		sc.UpstreamConns += p.Obs().Snapshot().Counter("wire.upstream.conns_open")
+	}
 	return sc
 }
 

@@ -7,10 +7,18 @@
 // With no resolver configuration every host is resolved to -origin,
 // matching the single-origin testbeds built by piggyserver/volumecenter.
 //
+// With -peers, the proxy joins a cooperative mesh: the listed fleet
+// members (which should include this proxy's own advertised address, or
+// pass it separately as -peer-id) partition the URL space over a
+// consistent-hash ring, local misses route to the key's ring owner before
+// the origin (X-Cache: PEER), and piggybacked volume state re-propagates
+// across the fleet.
+//
 // Usage:
 //
 //	piggyproxy [-addr :8081] -origin 127.0.0.1:8080 [-cache 64MiB-bytes]
 //	           [-shards N] [-delta 900] [-maxpiggy 10] [-prefetch] [-adaptive]
+//	           [-peers host:port,host:port,...] [-peer-id host:port]
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,7 +50,24 @@ func main() {
 	breakerBackoff := flag.Duration("breaker-backoff", 500*time.Millisecond, "initial open interval before a half-open probe")
 	breakerOff := flag.Bool("breaker-off", false, "disable the per-host circuit breaker")
 	maxStale := flag.Int64("maxstale", 3600, "serve expired entries up to this many seconds past expiry on upstream failure (negative disables)")
+	peers := flag.String("peers", "", "comma-separated fleet member addresses for the cooperative mesh (empty disables)")
+	peerID := flag.String("peer-id", "", "this proxy's advertised peer address (default: -addr)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "peer exchange timeout (0: 5s)")
 	flag.Parse()
+
+	var peerList []string
+	self := ""
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		self = *peerID
+		if self == "" {
+			self = *addr
+		}
+	}
 
 	px := piggyback.NewProxy(piggyback.ProxyConfig{
 		CacheBytes:        *cacheBytes,
@@ -57,6 +83,9 @@ func main() {
 		BreakerBackoff:    *breakerBackoff,
 		BreakerDisabled:   *breakerOff,
 		MaxStaleOnError:   *maxStale,
+		PeerSelf:          self,
+		Peers:             peerList,
+		PeerTimeout:       *peerTimeout,
 	})
 	defer px.Close()
 
@@ -75,11 +104,17 @@ func main() {
 			for {
 				time.Sleep(*statsEvery)
 				st := px.Stats()
-				fmt.Printf("piggyproxy: req=%d freshHits=%d validations=%d 304s=%d piggybacks=%d refreshes=%d invalidations=%d prefetches=%d staleServes=%d breakerOpen=%d hitRate=%.2f\n",
+				line := fmt.Sprintf("piggyproxy: req=%d freshHits=%d validations=%d 304s=%d piggybacks=%d refreshes=%d invalidations=%d prefetches=%d staleServes=%d breakerOpen=%d hitRate=%.2f",
 					st.ClientRequests, st.FreshHits, st.Validations, st.NotModified,
 					st.PiggybacksReceived, st.Refreshes, st.Invalidations, st.Prefetches,
 					st.StaleServes, px.BreakerOpenHosts(),
 					px.CacheHitRate())
+				if px.PeerRing() != nil {
+					line += fmt.Sprintf(" peerFwd=%d peerServes=%d peerFallbacks=%d peerProp=%d/%d",
+						st.PeerForwards, st.PeerServes, st.PeerFallbacks,
+						st.PeerPropagationsSent, st.PeerPropagationsReceived)
+				}
+				fmt.Println(line)
 			}
 		}()
 	}
@@ -97,6 +132,9 @@ func main() {
 
 	fmt.Printf("piggyproxy: listening on %s, upstream %s, Δ=%ds, cache %d bytes\n",
 		*addr, *origin, *delta, *cacheBytes)
+	if ring := px.PeerRing(); ring != nil {
+		fmt.Printf("piggyproxy: cooperative mesh of %d peers as %s\n", ring.Size(), self)
+	}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}

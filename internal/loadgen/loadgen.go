@@ -56,6 +56,10 @@ func (m Mode) String() string {
 type Config struct {
 	// Addr is the target address ("host:port"), usually the proxy.
 	Addr string
+	// Addrs, when set, targets a fleet: closed-loop workers pin to
+	// Addrs[w % len] (one persistent connection per worker per proxy) and
+	// open-loop arrivals round-robin. Overrides Addr.
+	Addrs []string
 	// Records is the workload; each GET record contributes its URL.
 	// Server-relative URLs are qualified with Host (absolute-URI proxy
 	// form).
@@ -85,13 +89,23 @@ type Config struct {
 	// StatsAddr, when set, is polled for /.piggy/stats snapshots before
 	// and after the run (normally Addr itself).
 	StatsAddr string
+	// StatsAddrs polls a fleet's stats endpoints and merges the windowed
+	// snapshots (counters sum), so per-tier ratios describe the whole
+	// fleet. Overrides StatsAddr.
+	StatsAddrs []string
 	// RequestTimeout bounds one exchange; zero uses the client default.
 	RequestTimeout time.Duration
 }
 
 func (cfg *Config) fillDefaults() error {
-	if cfg.Addr == "" {
+	if len(cfg.Addrs) == 0 && cfg.Addr != "" {
+		cfg.Addrs = []string{cfg.Addr}
+	}
+	if len(cfg.Addrs) == 0 {
 		return fmt.Errorf("loadgen: Addr is required")
+	}
+	if len(cfg.StatsAddrs) == 0 && cfg.StatsAddr != "" {
+		cfg.StatsAddrs = []string{cfg.StatsAddr}
 	}
 	if len(cfg.Records) == 0 {
 		return fmt.Errorf("loadgen: empty workload")
@@ -138,6 +152,13 @@ type Report struct {
 	// expired entries the proxy served because the upstream was failing.
 	StaleHits int64 `json:"stale_hits"`
 
+	// PeerHits counts X-Cache: PEER responses in the measured window —
+	// misses answered by the key's ring owner on the cooperative mesh
+	// instead of the origin; PeerHitRatio is their share of measured
+	// completions.
+	PeerHits     int64   `json:"peer_hits"`
+	PeerHitRatio float64 `json:"peer_hit_ratio"`
+
 	// ProxyHitRatio is fresh_hits/client_requests from the stats
 	// endpoint over the whole run; -1 when StatsAddr was not set or the
 	// endpoint was unreachable. StatsDelta holds the full windowed
@@ -160,6 +181,7 @@ type run struct {
 	bytesIn   atomic.Int64
 	cacheHits atomic.Int64
 	staleHits atomic.Int64
+	peerHits  atomic.Int64
 	measStart atomic.Int64 // UnixNano of the warmup boundary
 	hist      *obs.Histogram
 }
@@ -197,8 +219,8 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 
 	var statsBefore obs.Snapshot
 	haveStats := false
-	if cfg.StatsAddr != "" {
-		if s, err := FetchStats(cfg.StatsAddr); err == nil {
+	if len(cfg.StatsAddrs) > 0 {
+		if s, err := fetchStatsMerged(cfg.StatsAddrs); err == nil {
 			statsBefore, haveStats = s, true
 		}
 	}
@@ -216,7 +238,7 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 
 	rep := r.report(end)
 	if haveStats {
-		if after, err := FetchStats(cfg.StatsAddr); err == nil {
+		if after, err := fetchStatsMerged(cfg.StatsAddrs); err == nil {
 			delta := after.Sub(statsBefore)
 			rep.StatsDelta = &delta
 			rep.ProxyHitRatio = proxyHitRatio(delta)
@@ -246,12 +268,13 @@ func targets(records trace.Log, host string) []string {
 	return urls
 }
 
-// exchange issues one request and records its outcome. It returns false on
-// error (the caller's loop continues either way; pacing is unaffected).
-func (r *run) exchange(ctx context.Context, client *httpwire.Client, n int64) bool {
+// exchange issues one request to addr and records its outcome. It returns
+// false on error (the caller's loop continues either way; pacing is
+// unaffected).
+func (r *run) exchange(ctx context.Context, client *httpwire.Client, addr string, n int64) bool {
 	url := r.urls[(n-1)%int64(len(r.urls))]
 	t0 := time.Now()
-	resp, err := client.DoContext(ctx, r.cfg.Addr, httpwire.NewRequest("GET", url))
+	resp, err := client.DoContext(ctx, addr, httpwire.NewRequest("GET", url))
 	if err != nil {
 		r.errors.Add(1)
 		return false
@@ -271,6 +294,8 @@ func (r *run) exchange(ctx context.Context, client *httpwire.Client, n int64) bo
 			r.cacheHits.Add(1)
 		case "STALE":
 			r.staleHits.Add(1)
+		case "PEER":
+			r.peerHits.Add(1)
 		}
 	}
 	return true
@@ -291,6 +316,7 @@ func (r *run) runClosed(ctx context.Context) {
 			defer wg.Done()
 			client := r.newClient()
 			defer client.Close()
+			addr := r.cfg.Addrs[w%len(r.cfg.Addrs)]
 			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
 			for {
 				if ctx.Err() != nil {
@@ -300,7 +326,7 @@ func (r *run) runClosed(ctx context.Context) {
 				if n > r.total {
 					return
 				}
-				r.exchange(ctx, client, n)
+				r.exchange(ctx, client, addr, n)
 				if r.cfg.Think > 0 {
 					time.Sleep(time.Duration(rng.ExpFloat64() * float64(r.cfg.Think)))
 				}
@@ -334,7 +360,7 @@ func (r *run) runOpen(ctx context.Context) {
 			wg.Add(1)
 			go func(client *httpwire.Client, n int64) {
 				defer wg.Done()
-				r.exchange(ctx, client, n)
+				r.exchange(ctx, client, r.cfg.Addrs[int((n-1)%int64(len(r.cfg.Addrs)))], n)
 				slots <- client
 			}(client, n)
 		default:
@@ -369,6 +395,7 @@ func (r *run) report(end time.Time) *Report {
 		BytesIn:       r.bytesIn.Load(),
 		CacheHits:     r.cacheHits.Load(),
 		StaleHits:     r.staleHits.Load(),
+		PeerHits:      r.peerHits.Load(),
 		ProxyHitRatio: -1,
 		Latency:       lat,
 	}
@@ -380,6 +407,7 @@ func (r *run) report(end time.Time) *Report {
 	}
 	if lat.Count > 0 {
 		rep.HitRatio = float64(rep.CacheHits) / float64(lat.Count)
+		rep.PeerHitRatio = float64(rep.PeerHits) / float64(lat.Count)
 	}
 	if lat.Count == 0 {
 		// NaN quantiles don't survive JSON encoding.
@@ -401,6 +429,26 @@ func FetchStats(addr string) (obs.Snapshot, error) {
 		return obs.Snapshot{}, fmt.Errorf("loadgen: stats endpoint returned %d", resp.Status)
 	}
 	return obs.ParseSnapshot(resp.Body)
+}
+
+// fetchStatsMerged snapshots every listed stats endpoint and merges them
+// (counters sum), so a fleet reads as one aggregate. Any unreachable
+// endpoint fails the whole fetch — a partial merge would silently misstate
+// fleet ratios.
+func fetchStatsMerged(addrs []string) (obs.Snapshot, error) {
+	var out obs.Snapshot
+	for i, a := range addrs {
+		s, err := FetchStats(a)
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		if i == 0 {
+			out = s
+		} else {
+			out = out.Merge(s)
+		}
+	}
+	return out, nil
 }
 
 // proxyHitRatio derives the proxy's fresh-hit ratio from a windowed stats

@@ -1,0 +1,63 @@
+package peer
+
+import "sync"
+
+// Tracker records which peers recently requested into this proxy's
+// partition. When the owner of a key receives fresh piggyback volume state
+// from the origin, the peers the Tracker holds are the ones whose caches
+// may hold (now possibly stale) copies served from here — they are the
+// targets of re-propagation, so one owner's refresh freshens the fleet.
+//
+// Entries expire after window seconds of silence; Recent prunes lazily, so
+// an idle tracker holds at most one stale entry per peer ever seen.
+type Tracker struct {
+	window int64 // seconds a requester stays interesting
+
+	mu       sync.Mutex
+	lastSeen map[string]int64 // peer id -> Unix time of last request
+}
+
+// NewTracker returns a tracker with the given interest window in seconds;
+// window <= 0 means 60.
+func NewTracker(window int64) *Tracker {
+	if window <= 0 {
+		window = 60
+	}
+	return &Tracker{window: window, lastSeen: make(map[string]int64)}
+}
+
+// Note records a request from peer id at Unix time now.
+func (t *Tracker) Note(id string, now int64) {
+	if id == "" {
+		return
+	}
+	t.mu.Lock()
+	t.lastSeen[id] = now
+	t.mu.Unlock()
+}
+
+// Recent returns the peers seen within the window ending at now, pruning
+// expired entries. The result order is unspecified.
+func (t *Tracker) Recent(now int64) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.lastSeen))
+	for id, at := range t.lastSeen {
+		if now-at > t.window {
+			delete(t.lastSeen, id)
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Len returns the number of tracked peers, including any not yet pruned.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.lastSeen)
+}
+
+// Window returns the tracker's interest window in seconds.
+func (t *Tracker) Window() int64 { return t.window }

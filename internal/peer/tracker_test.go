@@ -1,0 +1,63 @@
+package peer
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestTrackerWindow(t *testing.T) {
+	tr := NewTracker(50)
+	tr.Note("a", 100)
+	tr.Note("b", 120)
+	tr.Note("", 120) // ignored
+
+	got := tr.Recent(130)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Recent(130) = %v, want [a b]", got)
+	}
+
+	// a's last request was 55s ago: expired and pruned; b (40s) survives.
+	got = tr.Recent(155)
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Recent(155) = %v, want [b]", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after prune = %d, want 1", tr.Len())
+	}
+
+	// A new request renews the pruned entry.
+	tr.Note("a", 160)
+	got = tr.Recent(165)
+	sort.Strings(got)
+	if len(got) != 2 {
+		t.Fatalf("Recent(165) = %v, want both", got)
+	}
+}
+
+func TestTrackerDefaultWindow(t *testing.T) {
+	if w := NewTracker(0).Window(); w != 60 {
+		t.Fatalf("default window = %d, want 60", w)
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker(60)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := []string{"a", "b", "c", "d"}
+			for i := 0; i < 200; i++ {
+				tr.Note(ids[(g+i)%len(ids)], int64(100+i))
+				tr.Recent(int64(100 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Recent(300)); got != 4 {
+		t.Fatalf("Recent after hammer = %d peers, want 4", got)
+	}
+}

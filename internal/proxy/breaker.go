@@ -55,8 +55,13 @@ type hostBreaker struct {
 	probing   bool          // a half-open probe is in flight
 }
 
-// newBreaker wires a breaker's counters into the proxy registry.
-func newBreaker(cfg breakerSettings, reg *obs.Registry, seed int64) *breaker {
+// newBreaker wires a breaker's counters into the proxy registry under
+// prefix ("proxy.breaker" for the upstream breaker, "peer.breaker" for the
+// mesh's per-peer one); empty means "proxy.breaker".
+func newBreaker(cfg breakerSettings, reg *obs.Registry, prefix string, seed int64) *breaker {
+	if prefix == "" {
+		prefix = "proxy.breaker"
+	}
 	if cfg.failures <= 0 {
 		cfg.failures = 5
 	}
@@ -69,9 +74,9 @@ func newBreaker(cfg breakerSettings, reg *obs.Registry, seed int64) *breaker {
 	return &breaker{
 		cfg:           cfg,
 		now:           time.Now,
-		opens:         reg.Counter("proxy.breaker.opens"),
-		openGauge:     reg.Counter("proxy.breaker.open"),
-		shortCircuits: reg.Counter("proxy.breaker.short_circuits"),
+		opens:         reg.Counter(prefix + ".opens"),
+		openGauge:     reg.Counter(prefix + ".open"),
+		shortCircuits: reg.Counter(prefix + ".short_circuits"),
 		rng:           rand.New(rand.NewSource(seed)),
 		hosts:         make(map[string]*hostBreaker),
 	}

@@ -11,7 +11,7 @@ import (
 // advance function moves the clock forward.
 func testBreaker(t *testing.T, cfg breakerSettings) (*breaker, func(time.Duration)) {
 	t.Helper()
-	b := newBreaker(cfg, obs.NewRegistry(), 1)
+	b := newBreaker(cfg, obs.NewRegistry(), "", 1)
 	now := time.Unix(1_000_000, 0)
 	b.now = func() time.Time { return now }
 	return b, func(d time.Duration) { now = now.Add(d) }
@@ -159,7 +159,7 @@ func TestBreakerStragglerFailureWhileOpen(t *testing.T) {
 func TestBreakerJitterWithinBounds(t *testing.T) {
 	// The open window must land in [0.5×, 1.5×) of the nominal backoff.
 	for seed := int64(1); seed <= 20; seed++ {
-		b := newBreaker(breakerSettings{failures: 1, backoff: time.Second}, obs.NewRegistry(), seed)
+		b := newBreaker(breakerSettings{failures: 1, backoff: time.Second}, obs.NewRegistry(), "", seed)
 		now := time.Unix(1_000_000, 0)
 		b.now = func() time.Time { return now }
 		b.Failure("h")

@@ -20,6 +20,7 @@ import (
 	"piggyback/internal/httpwire"
 	"piggyback/internal/httpwire/wireerr"
 	"piggyback/internal/obs"
+	"piggyback/internal/peer"
 )
 
 // Config parameterizes a Proxy.
@@ -89,6 +90,23 @@ type Config struct {
 	// expired no more than this many seconds ago. Zero means 3600;
 	// negative disables serve-stale (failures surface as 502/504).
 	MaxStaleOnError int64
+	// PeerSelf is this proxy's advertised peer address (the host:port of
+	// its own wire listener). Empty disables the cooperative mesh.
+	PeerSelf string
+	// Peers lists the other fleet members' advertised addresses; the
+	// consistent-hash ring is built over Peers ∪ {PeerSelf}. A ring of
+	// fewer than two members disables the mesh.
+	Peers []string
+	// PeerVNodes is the virtual-node count per peer on the ring; zero
+	// means peer.DefaultVNodes.
+	PeerVNodes int
+	// PeerTimeout caps one peer exchange — a forwarded request or a
+	// piggyback propagation; zero means 5s.
+	PeerTimeout time.Duration
+	// PeerWindow is how long (seconds) after a peer's last forwarded
+	// request it keeps receiving re-propagated piggybacks; zero means
+	// RPVTimeout.
+	PeerWindow int64
 }
 
 // Stats counts proxy-side protocol activity.
@@ -136,6 +154,20 @@ type Stats struct {
 	// counts requests refused without dialing while a circuit was open.
 	BreakerOpens         int
 	BreakerShortCircuits int
+	// PeerForwards counts local misses routed to their key's ring owner;
+	// PeerServes those answered by the peer (X-Cache: PEER);
+	// PeerFallbacks forwards that fell through to the origin instead
+	// (dead peer, open circuit, unusable status).
+	PeerForwards  int
+	PeerServes    int
+	PeerFallbacks int
+	// PeerRequestsServed counts peer-forwarded requests this proxy served
+	// as the owner of their partition.
+	PeerRequestsServed int
+	// PeerPropagationsSent/Received count piggyback volume messages
+	// re-propagated across the mesh.
+	PeerPropagationsSent     int
+	PeerPropagationsReceived int
 }
 
 // Proxy is a caching piggybacking proxy, served over httpwire.
@@ -167,6 +199,11 @@ type Proxy struct {
 	// trips after consecutive upstream failures so a dead origin costs a
 	// map lookup instead of a dial timeout per request.
 	breaker *breaker
+
+	// mesh is the cooperative peer tier (nil when not configured): the
+	// consistent-hash ring, peer wire client, per-peer breaker, and the
+	// piggyback re-propagation worker. See peer.go.
+	mesh *mesh
 }
 
 // flight is one in-progress leader fetch. resp is written once, before
@@ -264,8 +301,9 @@ func New(cfg Config) *Proxy {
 			failures:   cfg.BreakerFailures,
 			backoff:    cfg.BreakerBackoff,
 			maxBackoff: cfg.BreakerMaxBackoff,
-		}, reg, seed)
+		}, reg, "", seed)
 	}
+	p.mesh = newMesh(cfg, reg)
 	if cfg.UpstreamTimeout > 0 {
 		p.client.RequestTimeout = cfg.UpstreamTimeout
 	}
@@ -306,7 +344,24 @@ func (p *Proxy) Stats() Stats {
 		s.BreakerOpens = int(p.breaker.opens.Load())
 		s.BreakerShortCircuits = int(p.breaker.shortCircuits.Load())
 	}
+	if m := p.mesh; m != nil {
+		s.PeerForwards = int(m.c.forwards.Load())
+		s.PeerServes = int(m.c.serves.Load())
+		s.PeerFallbacks = int(m.c.fallbacks.Load())
+		s.PeerRequestsServed = int(m.c.requestsServed.Load())
+		s.PeerPropagationsSent = int(m.c.propagationsSent.Load())
+		s.PeerPropagationsReceived = int(m.c.propagationsReceived.Load())
+	}
 	return s
+}
+
+// PeerRing exposes the mesh's consistent-hash ring (nil when the mesh is
+// not configured).
+func (p *Proxy) PeerRing() *peer.Ring {
+	if p.mesh == nil {
+		return nil
+	}
+	return p.mesh.ring
 }
 
 // BreakerOpenHosts returns how many upstream hosts currently have a
@@ -327,8 +382,14 @@ func (p *Proxy) Queue() *InformedQueue { return p.queue }
 // Freshness exposes the adaptive freshness estimator (nil when disabled).
 func (p *Proxy) Freshness() *FreshnessEstimator { return p.fresh }
 
-// Close releases upstream connections.
-func (p *Proxy) Close() { p.client.Close() }
+// Close stops the mesh's propagation worker (when one is running) and
+// releases upstream and peer connections.
+func (p *Proxy) Close() {
+	if p.mesh != nil {
+		p.mesh.close()
+	}
+	p.client.Close()
+}
 
 // splitTarget extracts (host, path) from a proxy request: absolute-URI
 // form "http://host/path", or Host header + origin-form path.
@@ -372,6 +433,9 @@ func (p *Proxy) ServeWire(ctx context.Context, req *httpwire.Request) *httpwire.
 	if httpwire.IsStatsRequest(req) {
 		return httpwire.StatsResponse(p.obs)
 	}
+	if p.mesh != nil && httpwire.IsPeerPiggybackRequest(req) {
+		return p.servePeerPiggyback(req)
+	}
 	now := p.cfg.Clock()
 	host, path, err := splitTarget(req)
 	if err != nil || req.Method != "GET" {
@@ -381,6 +445,18 @@ func (p *Proxy) ServeWire(ctx context.Context, req *httpwire.Request) *httpwire.
 		return httpwire.NewResponse(400)
 	}
 	key := host + path
+
+	// A Piggy-Peer-marked request came from a fleet member that routed a
+	// miss here: serve it locally (cache or origin), never forward it
+	// again — the hop marker is what makes forwarding loop-free — and
+	// remember the sender as a re-propagation target.
+	fromPeer := false
+	if p.mesh != nil {
+		if from, ok := httpwire.PeerFrom(req); ok {
+			fromPeer = true
+			p.notePeerRequest(from, now)
+		}
+	}
 
 	p.c.clientRequests.Inc()
 	st, resp := p.lookup(key, host, path, now)
@@ -394,11 +470,28 @@ func (p *Proxy) ServeWire(ctx context.Context, req *httpwire.Request) *httpwire.
 			p.c.singleflightShared.Inc()
 			return shared
 		}
-		out := p.fetch(ctx, st, now)
+		out := p.fetchRouted(ctx, st, now, fromPeer)
 		p.finishFlight(key, out)
 		return out
 	}
-	// Stale copy: each holder validates with its own conditional GET.
+	// Stale copy: each holder validates with its own conditional GET (or,
+	// for a key owned elsewhere on the mesh, asks the owner first).
+	return p.fetchRouted(ctx, st, now, fromPeer)
+}
+
+// fetchRouted is the mesh-aware upstream exchange: when the mesh is on,
+// the request is not itself peer-forwarded, and the key's ring owner is a
+// remote peer, the owner is asked first; a nil answer (dead peer, open
+// circuit, unusable status) falls back to the ordinary origin fetch, so
+// peering never adds a client-visible failure mode.
+func (p *Proxy) fetchRouted(ctx context.Context, st upstreamState, now int64, fromPeer bool) *httpwire.Response {
+	if p.mesh != nil && !fromPeer {
+		if owner, remote := p.mesh.owner(st.key); remote {
+			if out := p.forwardToPeer(ctx, owner, st, now); out != nil {
+				return out
+			}
+		}
+	}
 	return p.fetch(ctx, st, now)
 }
 
@@ -597,6 +690,13 @@ func (p *Proxy) fetch(ctx context.Context, st upstreamState, now int64) *httpwir
 
 	if m, ok := httpwire.ExtractPiggyback(resp); ok {
 		p.processPiggyback(st.host, m, now)
+		if p.mesh != nil {
+			// We just heard fresh volume state from the origin for a
+			// partition we (mostly) own: push it to the peers that
+			// recently requested into it, so one proxy's piggyback
+			// freshens the whole fleet.
+			p.enqueuePropagation(st.host, m, now)
+		}
 	}
 	return out
 }

@@ -39,6 +39,7 @@ import (
 	"piggyback/internal/httpwire/wireerr"
 	"piggyback/internal/loadgen"
 	"piggyback/internal/obs"
+	"piggyback/internal/peer"
 	"piggyback/internal/proxy"
 	"piggyback/internal/server"
 	"piggyback/internal/sim"
@@ -229,6 +230,30 @@ type (
 
 // NewProxy returns a caching proxy.
 func NewProxy(cfg ProxyConfig) *Proxy { return proxy.New(cfg) }
+
+// Cooperative proxy mesh (§1 hierarchical caching as a wire-level tier).
+type (
+	// PeerRing is the immutable consistent-hash ring partitioning the URL
+	// key space across a proxy fleet. Proxies join a mesh via
+	// ProxyConfig.PeerSelf/Peers; local misses route to the key's ring
+	// owner before the origin (X-Cache: PEER).
+	PeerRing = peer.Ring
+	// PeerTracker records which peers recently requested into a proxy's
+	// partition — the targets of piggyback re-propagation.
+	PeerTracker = peer.Tracker
+)
+
+// DefaultPeerVNodes is the virtual-node count per peer when
+// ProxyConfig.PeerVNodes is zero.
+const DefaultPeerVNodes = peer.DefaultVNodes
+
+// NewPeerRing builds a consistent-hash ring over the given peer addresses;
+// vnodes <= 0 means DefaultPeerVNodes.
+func NewPeerRing(peers []string, vnodes int) *PeerRing { return peer.NewRing(peers, vnodes) }
+
+// NewPeerTracker returns a requester tracker with the given interest
+// window in seconds (<= 0 means 60).
+func NewPeerTracker(window int64) *PeerTracker { return peer.NewTracker(window) }
 
 // Cache policies (§4 cache replacement).
 type (
