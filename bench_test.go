@@ -475,18 +475,24 @@ func BenchmarkProxyFreshHitParallel(b *testing.B) {
 		}
 	}
 
+	// Requests are prebuilt and reused (ServeWire treats them as
+	// read-only) so the benchmark counts the serving path's allocations,
+	// not the harness's own request construction.
+	reqs := make([]*httpwire.Request, nRes)
+	for i := range reqs {
+		reqs[i] = httpwire.NewRequest("GET", fmt.Sprintf("http://www.bench.test/a/r%02d.html", i))
+	}
 	for _, procs := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
 			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
 				for pb.Next() {
-					path := fmt.Sprintf("/a/r%02d.html", i%nRes)
+					req := reqs[i%nRes]
 					i++
-					req := httpwire.NewRequest("GET", "http://www.bench.test"+path)
 					resp := px.ServeWire(context.Background(), req)
 					if resp.Status != 200 || resp.Header.Get("X-Cache") != "HIT" {
-						b.Errorf("%s: status %d X-Cache %q", path, resp.Status, resp.Header.Get("X-Cache"))
+						b.Errorf("%s: status %d X-Cache %q", req.Path, resp.Status, resp.Header.Get("X-Cache"))
 						return
 					}
 				}
@@ -673,4 +679,46 @@ func benchEchoServer(b *testing.B) string {
 	go srv.Serve(l)
 	b.Cleanup(func() { srv.Close() })
 	return l.Addr().String()
+}
+
+// TestProxyFreshHitAllocBudget pins the serving path's allocation count:
+// a fully-cached hit must stay within budget or the perf work regresses
+// silently. The budget has one alloc of slack over the measured count
+// (response struct, pre-sized header map, cache key, View copy-out).
+func TestProxyFreshHitAllocBudget(t *testing.T) {
+	now := int64(899637753)
+	clock := func() int64 { return now }
+	st := server.NewStore()
+	st.Put(server.Resource{URL: "/a/x.html", Size: 2000, LastModified: now - 86400})
+	origin := server.New(st, core.NewDirVolumes(core.DirConfig{Level: 1, MTF: true}), clock)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	osrv := &httpwire.Server{Handler: origin}
+	go osrv.Serve(ol)
+	defer osrv.Close()
+
+	px := proxy.New(proxy.Config{
+		Delta:   1 << 30,
+		Clock:   clock,
+		Resolve: func(string) (string, error) { return ol.Addr().String(), nil },
+	})
+	defer px.Close()
+	req := httpwire.NewRequest("GET", "http://www.bench.test/a/x.html")
+	ctx := context.Background()
+	if resp := px.ServeWire(ctx, req); resp.Status != 200 {
+		t.Fatalf("prime: status %d", resp.Status)
+	}
+
+	const budget = 5
+	avg := testing.AllocsPerRun(200, func() {
+		resp := px.ServeWire(ctx, req)
+		if resp.Status != 200 || resp.Header.Get("X-Cache") != "HIT" {
+			t.Fatalf("status %d X-Cache %q", resp.Status, resp.Header.Get("X-Cache"))
+		}
+	})
+	if avg > budget {
+		t.Errorf("fresh hit allocates %.1f/op, budget %d", avg, budget)
+	}
 }

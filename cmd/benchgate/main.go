@@ -1,0 +1,181 @@
+// Command benchgate compares two `go test -bench -benchmem` outputs and
+// fails when the new run regresses past a threshold — a dependency-free
+// stand-in for benchstat's compare mode, built for CI perf gating.
+//
+// Both inputs are ordinary benchmark logs (the benchstat file format):
+//
+//	BenchmarkWriteResponse/plain-8   2242028   534.6 ns/op   4 B/op   1 allocs/op
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate, so adding or retiring benchmarks doesn't break CI. Time (ns/op)
+// regressions beyond -threshold fail; allocs/op is gated absolutely
+// (-allocslack extra allocations allowed) because tiny counts make
+// percentages meaningless. B/op is reported but not gated.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.txt -new bench_new.txt [-threshold 0.10] [-allocslack 1]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	name   string
+	nsOp   float64
+	bOp    float64
+	allocs float64
+	hasMem bool
+}
+
+// parseFile extracts benchmark result lines. Repeated runs of the same
+// benchmark (e.g. -count=N) are averaged.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sums := make(map[string]result)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s := sums[r.name]
+		s.name = r.name
+		s.nsOp += r.nsOp
+		s.bOp += r.bOp
+		s.allocs += r.allocs
+		s.hasMem = s.hasMem || r.hasMem
+		sums[r.name] = s
+		counts[r.name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, s := range sums {
+		n := float64(counts[name])
+		s.nsOp /= n
+		s.bOp /= n
+		s.allocs /= n
+		sums[name] = s
+	}
+	return sums, nil
+}
+
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	r := result{name: trimProcSuffix(fields[0])}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.nsOp = v
+			ok = true
+		case "B/op":
+			r.bOp = v
+			r.hasMem = true
+		case "allocs/op":
+			r.allocs = v
+			r.hasMem = true
+		}
+	}
+	return r, ok
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS so baselines recorded on
+// machines with different core counts still line up.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func main() {
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "BENCH_baseline.txt", "baseline benchmark log")
+	newPath := flag.String("new", "", "new benchmark log to compare")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op regression (0.10 = +10%)")
+	allocSlack := flag.Float64("allocslack", 1, "allowed absolute allocs/op increase")
+	flag.Parse()
+	if *newPath == "" {
+		log.Fatal("benchgate: -new is required")
+	}
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	cur, err := parseFile(*newPath)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "Δ%")
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-52s %14.1f %14s %8s\n", name, b.nsOp, "absent", "-")
+			continue
+		}
+		d := pct(b.nsOp, c.nsOp)
+		mark := ""
+		if d > *threshold*100 {
+			mark = "  REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-52s %14.1f %14.1f %+7.1f%%%s\n", name, b.nsOp, c.nsOp, d, mark)
+		if b.hasMem && c.hasMem && c.allocs > b.allocs+*allocSlack {
+			fmt.Printf("%-52s %14.1f %14.1f allocs/op  REGRESSION\n", name+" [allocs]", b.allocs, c.allocs)
+			failures++
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-52s %14s %14.1f %8s\n", name, "(new)", cur[name].nsOp, "-")
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("benchgate: %d regression(s) beyond +%.0f%% ns/op or +%g allocs/op",
+			failures, *threshold*100, *allocSlack)
+	}
+	fmt.Println("benchgate: OK")
+}

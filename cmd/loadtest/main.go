@@ -49,6 +49,8 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -98,6 +100,9 @@ type options struct {
 	cacheMB  int64
 	hotKey   float64
 	killPeer bool
+
+	cpuprofile string
+	memprofile string
 }
 
 // scenario is one cell of the matrix plus its outcome.
@@ -157,6 +162,19 @@ type benchOutput struct {
 func main() {
 	log.SetFlags(0)
 	opt := parseFlags()
+
+	if opt.cpuprofile != "" {
+		f, err := os.Create(opt.cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(opt.memprofile)
 
 	workload, site := buildWorkload(opt)
 	fmt.Printf("workload: profile %s ×%.3g → %d requests over %d resources\n",
@@ -222,6 +240,23 @@ func main() {
 	fmt.Printf("\nwrote %s (%d scenarios)\n", opt.jsonPath, len(out.Scenarios))
 }
 
+// writeMemProfile dumps a post-GC heap profile, so allocation audits see
+// retained memory rather than collectable garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
 func parseFlags() options {
 	var opt options
 	var workers, piggy, faults string
@@ -262,6 +297,8 @@ func parseFlags() options {
 		"hot-key skew: fraction of requests redirected to one popular URL (e.g. 0.3)")
 	flag.BoolVar(&opt.killPeer, "killpeer", false,
 		"kill the last fleet member once half the requests have completed (requires -proxies > 1)")
+	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	flag.StringVar(&opt.memprofile, "memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
 	for _, w := range strings.Split(workers, ",") {

@@ -53,7 +53,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated fleet member addresses for the cooperative mesh (empty disables)")
 	peerID := flag.String("peer-id", "", "this proxy's advertised peer address (default: -addr)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "peer exchange timeout (0: 5s)")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on "+piggyback.PprofPathPrefix)
 	flag.Parse()
+	piggyback.EnablePprof(*pprofOn)
 
 	var peerList []string
 	self := ""

@@ -26,7 +26,9 @@ func main() {
 	maxPiggy := flag.Int("maxpiggy", 10, "server-side piggyback element cap")
 	pages := flag.Int("pages", 200, "synthetic site size in pages")
 	seed := flag.Int64("seed", 1, "site generation seed")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on "+piggyback.PprofPathPrefix)
 	flag.Parse()
+	piggyback.EnablePprof(*pprofOn)
 
 	site := pagesSite(*pages, *seed)
 	store := piggyback.NewStore()

@@ -28,7 +28,9 @@ func main() {
 	level := flag.Int("level", 1, "directory-volume prefix level (host-qualified)")
 	maxPiggy := flag.Int("maxpiggy", 10, "piggyback element cap")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on "+piggyback.PprofPathPrefix)
 	flag.Parse()
+	piggyback.EnablePprof(*pprofOn)
 
 	upstreams := make(map[string]string)
 	if *hostMap != "" {

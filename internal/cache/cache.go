@@ -29,6 +29,11 @@ type Entry struct {
 	// ContentType is the MIME type the origin sent with the body, served
 	// back on cache hits and 304-validated responses.
 	ContentType string
+	// LastModifiedHTTP is the HTTP-date rendering of LastModified, filled
+	// by the inserter (usually the origin's own Last-Modified header) so
+	// serving a hit never re-formats the time. Empty means "format on
+	// demand"; it is never updated independently of LastModified.
+	LastModifiedHTTP string
 	// Prefetched marks entries fetched speculatively from piggyback
 	// information; cleared on the first client hit so useful prefetches
 	// can be counted (§4).
@@ -147,6 +152,7 @@ func (c *Cache) Put(e Entry, now int64) (evicted []string) {
 		old.FetchedAt = e.FetchedAt
 		old.Body = e.Body
 		old.ContentType = e.ContentType
+		old.LastModifiedHTTP = e.LastModifiedHTTP
 		old.Prefetched = e.Prefetched
 		old.lastAccess = now
 		c.reprioritize(old, now)

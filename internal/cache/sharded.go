@@ -140,6 +140,9 @@ type View struct {
 	LastModified int64
 	Expires      int64
 	ContentType  string
+	// LastModifiedHTTP mirrors Entry.LastModifiedHTTP: the pre-rendered
+	// HTTP-date served on hits without re-formatting.
+	LastModifiedHTTP string
 	// WasPrefetched reports that this access was the first client touch
 	// of a speculatively fetched entry (the access clears the mark, so
 	// useful prefetches are counted once).
@@ -185,11 +188,12 @@ func (s *Sharded) Peek(url string) (View, bool) {
 
 func viewOf(e *Entry) View {
 	return View{
-		Body:         e.Body,
-		Size:         e.Size,
-		LastModified: e.LastModified,
-		Expires:      e.Expires,
-		ContentType:  e.ContentType,
+		Body:             e.Body,
+		Size:             e.Size,
+		LastModified:     e.LastModified,
+		Expires:          e.Expires,
+		ContentType:      e.ContentType,
+		LastModifiedHTTP: e.LastModifiedHTTP,
 	}
 }
 

@@ -137,6 +137,9 @@ func (c *Center) ServeWire(ctx context.Context, req *httpwire.Request) *httpwire
 	if httpwire.IsStatsRequest(req) {
 		return httpwire.StatsResponse(c.obs)
 	}
+	if httpwire.IsPprofRequest(req) {
+		return httpwire.PprofResponse(req)
+	}
 	now := c.cfg.Clock()
 	host, path, err := splitTarget(req)
 	if err != nil {

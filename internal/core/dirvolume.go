@@ -91,7 +91,7 @@ func (d *DirVolumes) Observe(a Access) {
 	} else {
 		// FIFO ablation: count the access but keep insertion order.
 		if n, ok := l.Get(a.Element.URL); ok {
-			n.elem = a.Element
+			n.setElem(a.Element)
 			n.accessCount++
 			n.lastAccess = a.Time
 		} else {
@@ -164,11 +164,11 @@ func (d *DirVolumes) Piggyback(url string, now int64, f Filter) (Message, bool) 
 		return Message{}, false
 	}
 	cap := f.Cap(d.cfg.ServerMaxPiggy)
-	elems := v.collect(url, f, cap)
+	elems, segs := v.collect(url, f, cap)
 	if len(elems) == 0 {
 		return Message{}, false
 	}
-	return Message{Volume: v.id, Elements: elems}, true
+	return Message{Volume: v.id, Elements: elems, enc: segs}, true
 }
 
 // VolumeOf returns the volume id currently assigned to url's prefix.
@@ -236,8 +236,9 @@ func (v *dirVolume) list(class string) *mtfList {
 }
 
 // collect merges the volume's lists most-recently-accessed-first and
-// returns up to max elements passing the filter.
-func (v *dirVolume) collect(requested string, f Filter, max int) []Element {
+// returns up to max elements passing the filter, alongside each element's
+// cached wire segment so the response path never re-serializes.
+func (v *dirVolume) collect(requested string, f Filter, max int) ([]Element, []string) {
 	if max <= 0 {
 		max = 1 << 30
 	}
@@ -249,6 +250,7 @@ func (v *dirVolume) collect(requested string, f Filter, max int) []Element {
 		}
 	}
 	var out []Element
+	var segs []string
 	for len(out) < max {
 		best := -1
 		for i, c := range cursors {
@@ -274,6 +276,7 @@ func (v *dirVolume) collect(requested string, f Filter, max int) []Element {
 			continue
 		}
 		out = append(out, n.elem)
+		segs = append(segs, n.segment())
 	}
-	return out
+	return out, segs
 }

@@ -45,6 +45,12 @@ func (e Element) WireBytes() int { return len(e.URL) + 16 }
 type Message struct {
 	Volume   VolumeID
 	Elements []Element
+	// enc holds the pre-serialized wire segment of each element, parallel
+	// to Elements — rendered once per volume update by the volume engine
+	// (mtfNode caches it) rather than once per response. Encode memcpys
+	// these instead of re-formatting; nil (engines without segment
+	// support, parsed messages) falls back to formatting.
+	enc []string
 }
 
 // Empty reports whether the message carries no elements.
@@ -60,27 +66,85 @@ func (m Message) WireBytes() int {
 	return n
 }
 
+// elementSegment renders one element's wire segment, leading space
+// included: " url last-modified size".
+func elementSegment(e Element) string {
+	b := make([]byte, 0, len(e.URL)+24)
+	b = append(b, ' ')
+	b = append(b, e.URL...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, e.LastModified, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, e.Size, 10)
+	return string(b)
+}
+
 // Encode renders the message as the P-Volume trailer field value:
 //
 //	P-Volume: 17; /a/b.html 866268400 4096, /a/c.gif 866268401 512
 //
 // Each element is "url last-modified size"; elements are comma-separated.
+// When the volume engine supplied pre-serialized segments, encoding is a
+// size computation plus memcpys — the hot path never re-formats integers.
 func (m Message) Encode() string {
 	var b strings.Builder
+	if len(m.enc) == len(m.Elements) && len(m.Elements) > 0 {
+		n := 8
+		for _, s := range m.enc {
+			n += len(s) + 1
+		}
+		b.Grow(n)
+		b.WriteString(strconv.Itoa(int(m.Volume)))
+		b.WriteByte(';')
+		for i, s := range m.enc {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(s)
+		}
+		return b.String()
+	}
 	b.WriteString(strconv.Itoa(int(m.Volume)))
 	b.WriteString(";")
 	for i, e := range m.Elements {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteByte(' ')
-		b.WriteString(e.URL)
-		b.WriteByte(' ')
-		b.WriteString(strconv.FormatInt(e.LastModified, 10))
-		b.WriteByte(' ')
-		b.WriteString(strconv.FormatInt(e.Size, 10))
+		b.WriteString(elementSegment(e))
 	}
 	return b.String()
+}
+
+// RefreshElements overwrites each element's attributes with the
+// authoritative values from get (the server "has considerable knowledge
+// about each resource", §2.1), dropping elements get rejects — and keeps
+// the pre-serialized segments coherent: a segment is re-rendered only when
+// the attributes actually changed, so an unmodified resource (the common
+// case) costs a comparison, not a format.
+func (m *Message) RefreshElements(get func(url string) (size, lastModified int64, ok bool)) {
+	out := m.Elements[:0]
+	hasEnc := len(m.enc) == len(m.Elements)
+	var enc []string
+	if hasEnc {
+		enc = m.enc[:0]
+	}
+	for i, e := range m.Elements {
+		size, lm, ok := get(e.URL)
+		if !ok {
+			continue
+		}
+		switch {
+		case !hasEnc:
+		case size == e.Size && lm == e.LastModified:
+			enc = append(enc, m.enc[i])
+		default:
+			enc = append(enc, elementSegment(Element{URL: e.URL, Size: size, LastModified: lm}))
+		}
+		e.Size, e.LastModified = size, lm
+		out = append(out, e)
+	}
+	m.Elements = out
+	m.enc = enc
 }
 
 // ParseMessage parses a P-Volume field value produced by Encode.

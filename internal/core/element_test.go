@@ -111,3 +111,73 @@ func TestEncodeIsSingleLine(t *testing.T) {
 		t.Errorf("Encode produced newline: %q", s)
 	}
 }
+
+func TestEncodeSegmentFastPathMatchesSlow(t *testing.T) {
+	elems := []Element{
+		{URL: "/a/b.html", Size: 4096, LastModified: 866268400},
+		{URL: "/a/c.gif", Size: 512, LastModified: 866268401},
+		{URL: "/a/d.png", Size: 0, LastModified: 0},
+	}
+	slow := Message{Volume: 17, Elements: elems}
+	fast := Message{Volume: 17, Elements: elems,
+		enc: []string{elementSegment(elems[0]), elementSegment(elems[1]), elementSegment(elems[2])}}
+	if s, f := slow.Encode(), fast.Encode(); s != f {
+		t.Fatalf("segment fast path diverged:\nslow %q\nfast %q", s, f)
+	}
+}
+
+func TestRefreshElementsKeepsSegmentsCoherent(t *testing.T) {
+	elems := []Element{
+		{URL: "/keep", Size: 10, LastModified: 100},
+		{URL: "/gone", Size: 20, LastModified: 200},
+		{URL: "/changed", Size: 30, LastModified: 300},
+	}
+	m := Message{Volume: 9, Elements: elems,
+		enc: []string{elementSegment(elems[0]), elementSegment(elems[1]), elementSegment(elems[2])}}
+	m.RefreshElements(func(url string) (int64, int64, bool) {
+		switch url {
+		case "/keep":
+			return 10, 100, true
+		case "/changed":
+			return 31, 301, true
+		}
+		return 0, 0, false
+	})
+	want := []Element{
+		{URL: "/keep", Size: 10, LastModified: 100},
+		{URL: "/changed", Size: 31, LastModified: 301},
+	}
+	if len(m.Elements) != len(want) {
+		t.Fatalf("elements = %+v, want %+v", m.Elements, want)
+	}
+	for i := range want {
+		if m.Elements[i] != want[i] {
+			t.Errorf("element %d = %+v, want %+v", i, m.Elements[i], want[i])
+		}
+	}
+	// The cached segments must still describe exactly the refreshed
+	// elements — Encode via segments equals Encode via formatting.
+	plain := Message{Volume: m.Volume, Elements: m.Elements}
+	if got, wantEnc := m.Encode(), plain.Encode(); got != wantEnc {
+		t.Fatalf("refreshed segments diverged:\ngot  %q\nwant %q", got, wantEnc)
+	}
+}
+
+func TestDirVolumesPiggybackCarriesSegments(t *testing.T) {
+	d := NewDirVolumes(DirConfig{Level: 1, MTF: true})
+	for i, url := range []string{"/a/x.html", "/a/y.html", "/a/z.html"} {
+		d.Observe(Access{Source: "p1", Time: int64(100 + i),
+			Element: Element{URL: url, Size: int64(10 * (i + 1)), LastModified: int64(1000 + i)}})
+	}
+	m, ok := d.Piggyback("/a/x.html", 200, Filter{})
+	if !ok || len(m.Elements) == 0 {
+		t.Fatalf("Piggyback = %+v, %v", m, ok)
+	}
+	if len(m.enc) != len(m.Elements) {
+		t.Fatalf("enc len %d != elements len %d", len(m.enc), len(m.Elements))
+	}
+	plain := Message{Volume: m.Volume, Elements: m.Elements}
+	if got, want := m.Encode(), plain.Encode(); got != want {
+		t.Fatalf("piggyback segments diverged:\ngot  %q\nwant %q", got, want)
+	}
+}

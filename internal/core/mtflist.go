@@ -25,6 +25,29 @@ type mtfNode struct {
 	// lastAccess is the time of the most recent request, the popularity
 	// metric for adding, removing, updating, and filtering (§3.2.1).
 	lastAccess int64
+	// seg caches the element's pre-serialized piggyback wire segment,
+	// invalidated whenever the element's attributes change. Rendering
+	// happens once per volume update instead of once per response.
+	seg string
+}
+
+// segment returns the node's wire segment, rendering it on first use after
+// an attribute change.
+func (n *mtfNode) segment() string {
+	if n.seg == "" {
+		n.seg = elementSegment(n.elem)
+	}
+	return n.seg
+}
+
+// setElem refreshes the stored element, invalidating the cached segment
+// only when the attributes actually changed (the common re-access of an
+// unmodified resource keeps the rendered bytes).
+func (n *mtfNode) setElem(e Element) {
+	if n.elem != e {
+		n.elem = e
+		n.seg = ""
+	}
 }
 
 func newMTFList() *mtfList {
@@ -44,7 +67,7 @@ func (l *mtfList) Touch(e Element, contentType string, now int64) *mtfNode {
 		l.index[e.URL] = n
 		l.pushFront(n)
 	} else {
-		n.elem = e
+		n.setElem(e)
 		n.contentType = contentType
 		l.moveToFront(n)
 	}
@@ -61,7 +84,7 @@ func (l *mtfList) Update(e Element) bool {
 	if !ok {
 		return false
 	}
-	n.elem = e
+	n.setElem(e)
 	return true
 }
 

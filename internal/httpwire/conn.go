@@ -179,8 +179,10 @@ func (s *Server) serveConn(base context.Context, conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := GetReader(conn)
+	bw := GetWriter(conn)
+	defer PutReader(br)
+	defer PutWriter(bw)
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout())); err != nil {
 			return
@@ -293,6 +295,18 @@ type clientConn struct {
 	lastUsed time.Time
 }
 
+// releaseBuffers returns the connection's pooled bufio pair. Callers must
+// hold exclusive use of the connection (its holder, or the pool for a conn
+// on the idle list); a busy connection's buffers are released by its holder
+// via discardConn, never by Close underneath it.
+func (cc *clientConn) releaseBuffers() {
+	if cc.br != nil {
+		PutReader(cc.br)
+		PutWriter(cc.bw)
+		cc.br, cc.bw = nil, nil
+	}
+}
+
 // NewClient returns a Client ready for use.
 func NewClient() *Client { return &Client{pools: make(map[string]*pool)} }
 
@@ -329,6 +343,20 @@ func (c *Client) retryBackoff() time.Duration {
 		return c.RetryBackoff
 	}
 	return 2 * time.Millisecond
+}
+
+// sleepBackoff pauses for d unless ctx ends first. A cancelled caller gets
+// wireerr.FromContext immediately instead of burning the full backoff — the
+// retry path must never outlive the request it serves.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return wireerr.FromContext(ctx.Err())
+	}
 }
 
 // countError records a failed exchange: the total plus its taxonomy class.
@@ -372,7 +400,10 @@ func (c *Client) DoContext(ctx context.Context, addr string, req *Request) (*Res
 			c.Obs.Retries.Inc()
 		}
 		c.discardConn(cc)
-		time.Sleep(c.retryBackoff())
+		if serr := sleepBackoff(ctx, c.retryBackoff()); serr != nil {
+			c.countError(serr)
+			return nil, serr
+		}
 		cc, _, err = c.acquire(ctx, addr)
 		if err != nil {
 			c.countError(err)
@@ -519,12 +550,13 @@ func (p *pool) dial(ctx context.Context) (*clientConn, bool, error) {
 		return nil, false, wireerr.Dial(ctx, err)
 	}
 	cc := &clientConn{pool: p, conn: conn,
-		br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+		br: GetReader(conn), bw: GetWriter(conn)}
 	p.mu.Lock()
 	if p.closed {
 		p.active--
 		p.mu.Unlock()
 		conn.Close()
+		cc.releaseBuffers()
 		return nil, false, net.ErrClosed
 	}
 	p.live[cc] = struct{}{}
@@ -547,6 +579,7 @@ func (p *pool) reapLocked(now time.Time) {
 		delete(p.live, cc)
 		p.active--
 		cc.conn.Close()
+		cc.releaseBuffers()
 		reaped++
 	}
 	if reaped > 0 {
@@ -581,7 +614,10 @@ func (c *Client) releaseConn(cc *clientConn) {
 	}
 }
 
-// discardConn closes a connection and frees its pool slot.
+// discardConn closes a connection and frees its pool slot. The caller holds
+// exclusive use of cc, so its pooled buffers go back here — even when the
+// pool was closed underneath it (Close skips busy connections' buffers for
+// exactly this handoff).
 func (c *Client) discardConn(cc *clientConn) {
 	p := cc.pool
 	p.mu.Lock()
@@ -589,6 +625,7 @@ func (c *Client) discardConn(cc *clientConn) {
 	p.cond.Signal()
 	p.mu.Unlock()
 	cc.conn.Close()
+	cc.releaseBuffers()
 	if removed && c.Obs != nil {
 		c.Obs.ConnsOpen.Add(-1)
 	}
@@ -620,6 +657,12 @@ func (c *Client) Close() {
 		open, idle := len(p.live), len(p.idle)
 		for cc := range p.live {
 			cc.conn.Close()
+		}
+		// Idle connections are held by nobody, so their buffers can be
+		// repooled; busy ones are mid-exchange — their holders return the
+		// buffers via discardConn when the exchange fails.
+		for _, cc := range p.idle {
+			cc.releaseBuffers()
 		}
 		p.live = make(map[*clientConn]struct{})
 		p.idle = nil

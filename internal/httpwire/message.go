@@ -21,7 +21,22 @@ type Header map[string]string
 
 // CanonicalKey converts a header field name to canonical form: the first
 // letter and any letter following a hyphen upper-cased, the rest lowered.
+// Keys already in canonical form — every key this package itself writes —
+// are returned as-is without allocating, which keeps Header.Set/Get off the
+// allocator on the request hot path.
 func CanonicalKey(k string) string {
+	upper := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (upper && 'a' <= c && c <= 'z') || (!upper && 'A' <= c && c <= 'Z') {
+			return canonicalKeySlow(k)
+		}
+		upper = c == '-'
+	}
+	return k
+}
+
+func canonicalKeySlow(k string) string {
 	b := []byte(k)
 	upper := true
 	for i, c := range b {
@@ -38,6 +53,20 @@ func CanonicalKey(k string) string {
 
 // Set stores a field, canonicalizing the key.
 func (h Header) Set(key, value string) { h[CanonicalKey(key)] = value }
+
+// Add appends a field value: a repeated field is joined onto the existing
+// value with ", ", the RFC 7230 §3.2.2 equivalence for fields whose values
+// are comma-separated lists. Message parsing uses Add so duplicate lines
+// (repeated Piggy-Hits, split Cache-Control) combine instead of the last
+// line silently overwriting the rest.
+func (h Header) Add(key, value string) {
+	k := CanonicalKey(key)
+	if prev, ok := h[k]; ok && prev != "" {
+		h[k] = prev + ", " + value
+		return
+	}
+	h[k] = value
+}
 
 // Get returns the field value, or "" when absent.
 func (h Header) Get(key string) string { return h[CanonicalKey(key)] }
@@ -74,7 +103,8 @@ type Request struct {
 
 // NewRequest returns a GET request for path with an empty header set.
 func NewRequest(method, path string) *Request {
-	return &Request{Method: method, Path: path, Proto: "HTTP/1.1", Header: make(Header)}
+	// Sized for the usual field count so Set never regrows the buckets.
+	return &Request{Method: method, Path: path, Proto: "HTTP/1.1", Header: make(Header, 8)}
 }
 
 // Response is an HTTP/1.1 response message. Trailer carries fields received
@@ -91,7 +121,8 @@ type Response struct {
 // NewResponse returns a response with the given status and an empty header
 // set.
 func NewResponse(status int) *Response {
-	return &Response{Proto: "HTTP/1.1", Status: status, Reason: StatusText(status), Header: make(Header)}
+	// Sized for the usual field count so Set never regrows the buckets.
+	return &Response{Proto: "HTTP/1.1", Status: status, Reason: StatusText(status), Header: make(Header, 8)}
 }
 
 // StatusText returns the canonical reason phrase for the handful of status

@@ -46,7 +46,10 @@ func (c *Client) DoAllContext(ctx context.Context, addr string, reqs []*Request)
 			c.Obs.Retries.Inc()
 		}
 		c.discardConn(cc)
-		time.Sleep(c.retryBackoff())
+		if serr := sleepBackoff(ctx, c.retryBackoff()); serr != nil {
+			c.countError(serr)
+			return nil, serr
+		}
 		cc, _, err = c.acquire(ctx, addr)
 		if err != nil {
 			c.countError(err)

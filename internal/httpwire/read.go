@@ -20,10 +20,16 @@ const (
 // ErrMalformed reports an unparsable message.
 var ErrMalformed = errors.New("httpwire: malformed message")
 
-// readLine reads one CRLF- (or bare-LF-) terminated line without the
-// terminator. The maxLineBytes bound is enforced while reading — an
-// endless line from a misbehaving peer fails after at most one buffer
-// beyond the limit instead of accumulating unboundedly.
+// readLine reads one CRLF- (or bare-LF-) terminated line, stripping exactly
+// one terminator: "value\r\r\n" yields "value\r" — a legitimate trailing CR
+// in a field value survives (the old TrimRight stripped every trailing CR
+// and LF, silently corrupting such values). The maxLineBytes bound is
+// enforced while reading — an endless line from a misbehaving peer fails
+// after at most one buffer beyond the limit instead of accumulating
+// unboundedly.
+//
+// The common case — the whole line already buffered — returns a string cut
+// straight from one ReadSlice fragment, with no intermediate []byte append.
 func readLine(br *bufio.Reader) (string, error) {
 	var line []byte
 	for {
@@ -31,10 +37,14 @@ func readLine(br *bufio.Reader) (string, error) {
 		if len(line)+len(frag) > maxLineBytes {
 			return "", fmt.Errorf("%w: header line too long", ErrMalformed)
 		}
-		line = append(line, frag...)
 		if err == nil {
+			if line == nil {
+				return string(trimTerminator(frag)), nil
+			}
+			line = append(line, frag...)
 			break
 		}
+		line = append(line, frag...)
 		if err == bufio.ErrBufferFull {
 			continue
 		}
@@ -46,10 +56,24 @@ func readLine(br *bufio.Reader) (string, error) {
 		}
 		return "", err
 	}
-	return strings.TrimRight(string(line), "\r\n"), nil
+	return string(trimTerminator(line)), nil
 }
 
-// readHeader reads header fields until the blank line.
+// trimTerminator strips one trailing "\r\n" or bare "\n".
+func trimTerminator(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		if n > 1 && line[n-2] == '\r' {
+			return line[:n-2]
+		}
+		return line[:n-1]
+	}
+	return line
+}
+
+// readHeader reads header fields until the blank line. Repeated fields are
+// joined with ", " (RFC 7230 §3.2.2) rather than the last line overwriting
+// the rest — a server sending Piggy-Hits or Cache-Control across multiple
+// lines loses nothing.
 func readHeader(br *bufio.Reader) (Header, error) {
 	h := make(Header)
 	for {
@@ -67,7 +91,7 @@ func readHeader(br *bufio.Reader) (Header, error) {
 		if !found || key == "" || strings.ContainsAny(key, " \t") {
 			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
 		}
-		h.Set(key, strings.TrimSpace(val))
+		h.Add(key, strings.TrimSpace(val))
 	}
 }
 
@@ -188,11 +212,13 @@ func readChunked(br *bufio.Reader) (body []byte, trailer Header, err error) {
 		if int64(len(body))+size > maxBodyBytes {
 			return nil, nil, fmt.Errorf("%w: chunked body too large", ErrMalformed)
 		}
-		chunk := make([]byte, size)
-		if _, err := io.ReadFull(br, chunk); err != nil {
+		// Grow body and read the chunk straight into it — no per-chunk
+		// scratch buffer and copy.
+		start := len(body)
+		body = append(body, make([]byte, size)...)
+		if _, err := io.ReadFull(br, body[start:]); err != nil {
 			return nil, nil, err
 		}
-		body = append(body, chunk...)
 		// Trailing CRLF after the chunk data.
 		if line, err := readLine(br); err != nil {
 			return nil, nil, err

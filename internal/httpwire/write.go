@@ -2,21 +2,75 @@ package httpwire
 
 import (
 	"bufio"
-	"fmt"
 	"sort"
 	"strconv"
 )
 
+// The serializers below avoid fmt and per-message map clones: profiles of
+// the 64-worker loadtest showed the per-header-line fmt.Fprintf boxing and
+// the Header.Clone needed to inject framing fields dominating hot-path
+// allocation. Framing fields (Content-Length, Transfer-Encoding, Trailer)
+// are instead merged into the sorted key walk as "extras", and the sorted
+// key slice itself comes from a pool.
+
+// writeInt writes n in the given base without allocating: the digits are
+// appended into the writer's own spare buffer capacity.
+func writeInt(bw *bufio.Writer, n int64, base int) error {
+	_, err := bw.Write(strconv.AppendInt(bw.AvailableBuffer(), n, base))
+	return err
+}
+
+func writeField(bw *bufio.Writer, k, v string) error {
+	if _, err := bw.WriteString(k); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(": "); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(v); err != nil {
+		return err
+	}
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
 // writeHeader emits header fields in sorted order (deterministic wire
 // output simplifies testing and debugging).
 func writeHeader(bw *bufio.Writer, h Header) error {
-	keys := make([]string, 0, len(h))
+	return writeHeaderX(bw, h, "", "", "", "", "")
+}
+
+// writeHeaderX emits h's fields plus up to two extra fields (x1, x2 — empty
+// key means absent) in one sorted walk, omitting skip. An extra overrides a
+// same-named field in h. Extras are how the serializers inject framing
+// fields without cloning the caller's header map.
+func writeHeaderX(bw *bufio.Writer, h Header, skip, x1k, x1v, x2k, x2v string) error {
+	scratch := getKeyScratch()
+	defer putKeyScratch(scratch)
+	keys := *scratch
 	for k := range h {
+		if k == skip || k == x1k || k == x2k {
+			continue
+		}
 		keys = append(keys, k)
 	}
+	if x1k != "" {
+		keys = append(keys, x1k)
+	}
+	if x2k != "" {
+		keys = append(keys, x2k)
+	}
 	sort.Strings(keys)
+	*scratch = keys // keep any growth for the pool
 	for _, k := range keys {
-		if _, err := fmt.Fprintf(bw, "%s: %s\r\n", k, h[k]); err != nil {
+		v := h[k]
+		switch k {
+		case x1k:
+			v = x1v
+		case x2k:
+			v = x2v
+		}
+		if err := writeField(bw, k, v); err != nil {
 			return err
 		}
 	}
@@ -30,18 +84,16 @@ func WriteRequest(bw *bufio.Writer, req *Request) error {
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	if _, err := fmt.Fprintf(bw, "%s %s %s\r\n", req.Method, req.Path, proto); err != nil {
-		return err
+	for _, s := range []string{req.Method, " ", req.Path, " ", proto, "\r\n"} {
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
 	}
-	h := req.Header
-	if h == nil {
-		h = make(Header)
-	}
+	var clk, clv string
 	if len(req.Body) > 0 || req.Method == "POST" || req.Method == "PUT" {
-		h = h.Clone()
-		h.Set("Content-Length", strconv.Itoa(len(req.Body)))
+		clk, clv = "Content-Length", strconv.Itoa(len(req.Body))
 	}
-	if err := writeHeader(bw, h); err != nil {
+	if err := writeHeaderX(bw, req.Header, "", clk, clv, "", ""); err != nil {
 		return err
 	}
 	if _, err := bw.WriteString("\r\n"); err != nil {
@@ -53,6 +105,37 @@ func WriteRequest(bw *bufio.Writer, req *Request) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// trailerNames renders the sorted, comma-separated Trailer header value.
+// The single-field trailer (one P-Volume field, the protocol's usual case)
+// needs no building at all.
+func trailerNames(t Header) string {
+	if len(t) == 1 {
+		for k := range t {
+			return k
+		}
+	}
+	scratch := getKeyScratch()
+	defer putKeyScratch(scratch)
+	keys := *scratch
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	*scratch = keys
+	n := 0
+	for _, k := range keys {
+		n += len(k) + 2
+	}
+	out := make([]byte, 0, n)
+	for i, k := range keys {
+		if i > 0 {
+			out = append(out, ", "...)
+		}
+		out = append(out, k...)
+	}
+	return string(out)
 }
 
 // WriteResponse serializes resp to bw and flushes.
@@ -73,40 +156,42 @@ func WriteResponse(bw *bufio.Writer, resp *Response, noBody bool) error {
 	if reason == "" {
 		reason = StatusText(resp.Status)
 	}
-	if _, err := fmt.Fprintf(bw, "%s %d %s\r\n", proto, resp.Status, reason); err != nil {
+	if _, err := bw.WriteString(proto); err != nil {
 		return err
 	}
-	h := resp.Header
-	if h == nil {
-		h = make(Header)
+	if err := bw.WriteByte(' '); err != nil {
+		return err
 	}
-	h = h.Clone()
+	if err := writeInt(bw, int64(resp.Status), 10); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(' '); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(reason); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return err
+	}
 
 	chunked := len(resp.Trailer) > 0
-	if chunked {
-		h.Set("Transfer-Encoding", "chunked")
-		h.Del("Content-Length")
+	var err error
+	switch {
+	case chunked:
 		// §2.3: "The server must include a Trailer header field
 		// indicating the later appearance of the P-volume response
 		// header field."
-		names := make([]string, 0, len(resp.Trailer))
-		for k := range resp.Trailer {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		trailerList := ""
-		for i, n := range names {
-			if i > 0 {
-				trailerList += ", "
-			}
-			trailerList += n
-		}
-		h.Set("Trailer", trailerList)
-	} else if resp.Status != 304 {
-		h.Set("Content-Length", strconv.Itoa(len(resp.Body)))
+		err = writeHeaderX(bw, resp.Header, "Content-Length",
+			"Trailer", trailerNames(resp.Trailer),
+			"Transfer-Encoding", "chunked")
+	case resp.Status != 304:
+		err = writeHeaderX(bw, resp.Header, "",
+			"Content-Length", strconv.Itoa(len(resp.Body)), "", "")
+	default:
+		err = writeHeader(bw, resp.Header)
 	}
-
-	if err := writeHeader(bw, h); err != nil {
+	if err != nil {
 		return err
 	}
 	if _, err := bw.WriteString("\r\n"); err != nil {
@@ -116,7 +201,10 @@ func WriteResponse(bw *bufio.Writer, resp *Response, noBody bool) error {
 	switch {
 	case chunked:
 		if !noBody && len(resp.Body) > 0 {
-			if _, err := fmt.Fprintf(bw, "%x\r\n", len(resp.Body)); err != nil {
+			if err := writeInt(bw, int64(len(resp.Body)), 16); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString("\r\n"); err != nil {
 				return err
 			}
 			if _, err := bw.Write(resp.Body); err != nil {

@@ -185,16 +185,18 @@ func (p *Proxy) forwardToPeer(ctx context.Context, owner string, st upstreamStat
 	}
 	lm, _ := resp.LastModified()
 	ct := resp.Header.Get("Content-Type")
+	lmDate := resp.Header.Get("Last-Modified")
 	p.cache.Put(cache.Entry{
-		URL:          st.key,
-		Size:         int64(len(resp.Body)),
-		LastModified: lm,
-		Expires:      now + p.delta(st.key),
-		FetchedAt:    now,
-		Body:         resp.Body,
-		ContentType:  ct,
+		URL:              st.key,
+		Size:             int64(len(resp.Body)),
+		LastModified:     lm,
+		LastModifiedHTTP: lmDate,
+		Expires:          now + p.delta(st.key),
+		FetchedAt:        now,
+		Body:             resp.Body,
+		ContentType:      ct,
 	}, now)
-	out := serveCopy(resp.Body, lm, ct)
+	out := serveCopy(resp.Body, lm, lmDate, ct)
 	out.Header.Set("X-Cache", "PEER")
 	m.c.serves.Inc()
 	return out

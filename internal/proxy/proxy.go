@@ -421,6 +421,7 @@ type upstreamState struct {
 	key, host, path string
 	hit             bool
 	cachedLM        int64
+	cachedLMDate    string
 	cachedBody      []byte
 	cachedCT        string
 	cachedExpires   int64
@@ -432,6 +433,9 @@ type upstreamState struct {
 func (p *Proxy) ServeWire(ctx context.Context, req *httpwire.Request) *httpwire.Response {
 	if httpwire.IsStatsRequest(req) {
 		return httpwire.StatsResponse(p.obs)
+	}
+	if httpwire.IsPprofRequest(req) {
+		return httpwire.PprofResponse(req)
 	}
 	if p.mesh != nil && httpwire.IsPeerPiggybackRequest(req) {
 		return p.servePeerPiggyback(req)
@@ -510,13 +514,14 @@ func (p *Proxy) lookup(key, host, path string, now int64) (upstreamState, *httpw
 		if p.cfg.ReportHits && !p.hits.add(host, path) {
 			p.c.hitsDropped.Inc()
 		}
-		resp := serveCopy(v.Body, v.LastModified, v.ContentType)
+		resp := serveCopy(v.Body, v.LastModified, v.LastModifiedHTTP, v.ContentType)
 		resp.Header.Set("X-Cache", "HIT")
 		return st, resp
 	}
 	st.hit = hit
 	if hit {
 		st.cachedLM = v.LastModified
+		st.cachedLMDate = v.LastModifiedHTTP
 		st.cachedBody = v.Body
 		st.cachedCT = v.ContentType
 		st.cachedExpires = v.Expires
@@ -583,7 +588,11 @@ func (p *Proxy) fetch(ctx context.Context, st upstreamState, now int64) *httpwir
 	oreq := httpwire.NewRequest("GET", st.path)
 	oreq.Header.Set("Host", st.host)
 	if st.hit {
-		oreq.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(st.cachedLM))
+		ims := st.cachedLMDate
+		if ims == "" {
+			ims = httpwire.FormatHTTPDate(st.cachedLM)
+		}
+		oreq.Header.Set("If-Modified-Since", ims)
 		if p.cfg.DeltaEncoding {
 			oreq.Header.Set("A-IM", "blockdiff")
 		}
@@ -619,7 +628,7 @@ func (p *Proxy) fetch(ctx context.Context, st upstreamState, now int64) *httpwir
 			// time; serve the stale copy rather than failing the
 			// client.
 			p.c.upstreamErrors.Inc()
-			out = serveCopy(st.cachedBody, st.cachedLM, st.cachedCT)
+			out = serveCopy(st.cachedBody, st.cachedLM, st.cachedLMDate, st.cachedCT)
 			break
 		}
 		p.c.validations.Inc()
@@ -631,27 +640,29 @@ func (p *Proxy) fetch(ctx context.Context, st upstreamState, now int64) *httpwir
 			// its type is the cached copy's.
 			ct = st.cachedCT
 		}
+		lmDate := resp.Header.Get("Last-Modified")
 		e := cache.Entry{
-			URL:          key,
-			Size:         int64(len(newBody)),
-			LastModified: lm,
-			Expires:      now + p.delta(key),
-			FetchedAt:    now,
-			Body:         newBody,
-			ContentType:  ct,
+			URL:              key,
+			Size:             int64(len(newBody)),
+			LastModified:     lm,
+			LastModifiedHTTP: lmDate,
+			Expires:          now + p.delta(key),
+			FetchedAt:        now,
+			Body:             newBody,
+			ContentType:      ct,
 		}
 		if p.fresh != nil {
 			p.fresh.Observe(key, lm)
 		}
 		p.cache.Put(e, now)
-		out = serveCopy(newBody, lm, ct)
+		out = serveCopy(newBody, lm, lmDate, ct)
 	case resp.Status == 304 && st.hit:
 		p.c.validations.Inc()
 		p.c.notModified.Inc()
 		p.cache.Freshen(key, now+p.delta(key))
 		// Serve the validated copy, not whatever the cache holds now —
 		// a concurrent fetch may have replaced the entry since lookup.
-		out = serveCopy(st.cachedBody, st.cachedLM, st.cachedCT)
+		out = serveCopy(st.cachedBody, st.cachedLM, st.cachedLMDate, st.cachedCT)
 	case resp.Status == 200:
 		if st.hit {
 			p.c.validations.Inc()
@@ -660,20 +671,22 @@ func (p *Proxy) fetch(ctx context.Context, st upstreamState, now int64) *httpwir
 		}
 		lm, _ := resp.LastModified()
 		ct := resp.Header.Get("Content-Type")
+		lmDate := resp.Header.Get("Last-Modified")
 		e := cache.Entry{
-			URL:          key,
-			Size:         int64(len(resp.Body)),
-			LastModified: lm,
-			Expires:      now + p.delta(key),
-			FetchedAt:    now,
-			Body:         resp.Body,
-			ContentType:  ct,
+			URL:              key,
+			Size:             int64(len(resp.Body)),
+			LastModified:     lm,
+			LastModifiedHTTP: lmDate,
+			Expires:          now + p.delta(key),
+			FetchedAt:        now,
+			Body:             resp.Body,
+			ContentType:      ct,
 		}
 		if p.fresh != nil {
 			p.fresh.Observe(key, lm)
 		}
 		p.cache.Put(e, now)
-		out = serveCopy(resp.Body, lm, ct)
+		out = serveCopy(resp.Body, lm, lmDate, ct)
 	case resp.Status == 304 || resp.Status == 226:
 		// Conditional-only statuses for a request that carried no
 		// condition (or no cached base for a delta): the origin is
@@ -720,12 +733,17 @@ func applyDelta(cachedBody []byte, resp *httpwire.Response) (body []byte, lastMo
 
 // serveCopy builds a 200 response from a body, Last-Modified, and
 // Content-Type copied out of the cache earlier; it never touches a live
-// *cache.Entry.
-func serveCopy(body []byte, lastModified int64, contentType string) *httpwire.Response {
+// *cache.Entry. lmDate is the pre-rendered HTTP-date of lastModified when
+// the caller has one (a cached View, an origin header) — empty falls back
+// to formatting, so the hit path normally skips FormatHTTPDate entirely.
+func serveCopy(body []byte, lastModified int64, lmDate, contentType string) *httpwire.Response {
 	resp := httpwire.NewResponse(200)
 	resp.Body = body
 	if lastModified > 0 {
-		resp.Header.Set("Last-Modified", httpwire.FormatHTTPDate(lastModified))
+		if lmDate == "" {
+			lmDate = httpwire.FormatHTTPDate(lastModified)
+		}
+		resp.Header.Set("Last-Modified", lmDate)
 	}
 	if contentType != "" {
 		resp.Header.Set("Content-Type", contentType)
@@ -752,7 +770,7 @@ func (p *Proxy) degrade(st upstreamState, now int64, err error) *httpwire.Respon
 	if st.hit && p.cfg.MaxStaleOnError >= 0 && !errors.Is(err, wireerr.ErrCanceled) &&
 		now <= st.cachedExpires+p.cfg.MaxStaleOnError {
 		p.c.staleServes.Inc()
-		out := serveCopy(st.cachedBody, st.cachedLM, st.cachedCT)
+		out := serveCopy(st.cachedBody, st.cachedLM, st.cachedLMDate, st.cachedCT)
 		out.Header.Set("X-Cache", "STALE")
 		out.Header.Set("Warning", `110 - "Response is Stale"`)
 		return out
@@ -894,18 +912,20 @@ func (p *Proxy) prefetchOne(ctx context.Context, it FetchItem, key string, now i
 	}
 	lm, _ := resp.LastModified()
 	ct := resp.Header.Get("Content-Type")
+	lmDate := resp.Header.Get("Last-Modified")
 	p.c.prefetches.Inc()
 	p.cache.Put(cache.Entry{
-		URL:          key,
-		Size:         int64(len(resp.Body)),
-		LastModified: lm,
-		Expires:      now + p.delta(key),
-		FetchedAt:    now,
-		Body:         resp.Body,
-		ContentType:  ct,
-		Prefetched:   true,
+		URL:              key,
+		Size:             int64(len(resp.Body)),
+		LastModified:     lm,
+		LastModifiedHTTP: lmDate,
+		Expires:          now + p.delta(key),
+		FetchedAt:        now,
+		Body:             resp.Body,
+		ContentType:      ct,
+		Prefetched:       true,
 	}, now)
-	out := serveCopy(resp.Body, lm, ct)
+	out := serveCopy(resp.Body, lm, lmDate, ct)
 	out.Header.Set("X-Cache", "MISS")
 	return out, true
 }

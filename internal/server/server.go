@@ -29,6 +29,18 @@ type Resource struct {
 	LastModified int64
 	// ContentType is the MIME type; empty derives it from the URL.
 	ContentType string
+	// lmDate caches the HTTP-date rendering of LastModified, computed when
+	// the store learns the time (Put, Modify) instead of on every response.
+	lmDate string
+}
+
+// httpDate returns the resource's Last-Modified as an HTTP-date, using the
+// cached rendering when the store filled it.
+func (r *Resource) httpDate() string {
+	if r.lmDate == "" {
+		return httpwire.FormatHTTPDate(r.LastModified)
+	}
+	return r.lmDate
 }
 
 // maxBodyBytes caps synthesized bodies: huge resources are served
@@ -75,6 +87,7 @@ func (s *Store) Put(r Resource) {
 	if r.ContentType == "" {
 		r.ContentType = trace.ContentType(r.URL)
 	}
+	r.lmDate = httpwire.FormatHTTPDate(r.LastModified)
 	s.mu.Lock()
 	s.res[r.URL] = &r
 	s.mu.Unlock()
@@ -112,6 +125,7 @@ func (s *Store) Modify(url string, lastModified, newSize int64) bool {
 		return false
 	}
 	r.LastModified = lastModified
+	r.lmDate = httpwire.FormatHTTPDate(lastModified)
 	if newSize > 0 {
 		r.Size = newSize
 	}
@@ -215,19 +229,17 @@ func (s *Server) Stats() Stats {
 // resource, including the size... as well as the frequency of resource
 // modifications" (§2.1), so piggybacked Last-Modified times reflect
 // modifications made since the volume last saw a request for the resource.
-// Elements for resources no longer in the store are dropped.
-func (s *Server) refreshElements(elems []core.Element) []core.Element {
-	out := elems[:0]
-	for _, e := range elems {
-		res, ok := s.store.Get(e.URL)
+// Elements for resources no longer in the store are dropped. Delegating to
+// core keeps the message's pre-serialized segments coherent with the
+// refreshed attributes.
+func (s *Server) refreshElements(m *core.Message) {
+	m.RefreshElements(func(url string) (int64, int64, bool) {
+		res, ok := s.store.Get(url)
 		if !ok {
-			continue
+			return 0, 0, false
 		}
-		e.Size = res.Size
-		e.LastModified = res.LastModified
-		out = append(out, e)
-	}
-	return out
+		return res.Size, res.LastModified, true
+	})
 }
 
 // acceptsBlockdiff reports whether the request advertises the blockdiff
@@ -248,6 +260,9 @@ func acceptsBlockdiff(req *httpwire.Request) bool {
 func (s *Server) ServeWire(_ context.Context, req *httpwire.Request) *httpwire.Response {
 	if httpwire.IsStatsRequest(req) {
 		return httpwire.StatsResponse(s.obs)
+	}
+	if httpwire.IsPprofRequest(req) {
+		return httpwire.PprofResponse(req)
 	}
 	now := s.Clock()
 	s.c.requests.Inc()
@@ -314,14 +329,14 @@ func (s *Server) ServeWire(_ context.Context, req *httpwire.Request) *httpwire.R
 		resp.Body = res.body(res.LastModified)
 		resp.Header.Set("Content-Type", res.ContentType)
 	}
-	resp.Header.Set("Last-Modified", httpwire.FormatHTTPDate(res.LastModified))
+	resp.Header.Set("Last-Modified", res.httpDate())
 
 	// Piggyback generation: only for cooperating proxies that sent a
 	// filter and accept chunked trailers (§2.3).
 	if s.vols != nil {
 		if f, ok := httpwire.GetFilter(req); ok && req.AcceptsChunkedTrailer() {
 			if m, ok := s.vols.Piggyback(req.Path, now, f); ok {
-				m.Elements = s.refreshElements(m.Elements)
+				s.refreshElements(&m)
 				if !m.Empty() {
 					httpwire.AttachPiggyback(resp, m)
 					s.c.piggybacksSent.Inc()

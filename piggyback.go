@@ -156,6 +156,14 @@ var (
 // telemetry counters.
 func WireErrClass(err error) string { return wireerr.Class(err) }
 
+// PprofPathPrefix is the reserved origin-form path prefix serving live
+// runtime profiles when EnablePprof(true) has been called.
+const PprofPathPrefix = httpwire.PprofPathPrefix
+
+// EnablePprof turns the /.piggy/pprof/ profiling endpoint on or off
+// process-wide for every wire handler (server, proxy, volume center).
+func EnablePprof(on bool) { httpwire.EnablePprof(on) }
+
 // Fault injection (testing and load scenarios).
 type (
 	// Fault describes what one connection does to its traffic: first-byte
