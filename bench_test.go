@@ -7,9 +7,9 @@
 package piggyback_test
 
 import (
-	"context"
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"runtime"
@@ -23,6 +23,7 @@ import (
 	"piggyback/internal/delta"
 	"piggyback/internal/httpwire"
 	"piggyback/internal/loadgen"
+	"piggyback/internal/obs"
 	"piggyback/internal/proxy"
 	"piggyback/internal/server"
 	"piggyback/internal/sim"
@@ -720,5 +721,66 @@ func TestProxyFreshHitAllocBudget(t *testing.T) {
 	})
 	if avg > budget {
 		t.Errorf("fresh hit allocates %.1f/op, budget %d", avg, budget)
+	}
+}
+
+// BenchmarkWireFreshHit drives fresh cache hits through the full wire
+// stack — real TCP client → proxy server — and reports the syscall budget
+// alongside time: writes/op and reads/op are the proxy server's
+// wire.server.syscalls.* counters divided by requests served. The vectored
+// write path must answer a fresh hit (status line + headers + body) in ONE
+// write syscall; cmd/benchgate gates the writes/op column absolutely.
+func BenchmarkWireFreshHit(b *testing.B) {
+	now := int64(899637753)
+	clock := func() int64 { return now }
+	st := server.NewStore()
+	st.Put(server.Resource{URL: "/a/x.html", Size: 2000, LastModified: now - 86400})
+	origin := server.New(st, core.NewDirVolumes(core.DirConfig{Level: 1, MTF: true}), clock)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	osrv := &httpwire.Server{Handler: origin}
+	go osrv.Serve(ol)
+	defer osrv.Close()
+
+	px := proxy.New(proxy.Config{
+		Delta:   1 << 30,
+		Clock:   clock,
+		Resolve: func(string) (string, error) { return ol.Addr().String(), nil },
+	})
+	defer px.Close()
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wm := obs.NewWireMetrics(px.Obs(), "wire.server")
+	psrv := &httpwire.Server{Handler: px, Obs: wm}
+	go psrv.Serve(pl)
+	defer psrv.Close()
+
+	client := httpwire.NewClient()
+	defer client.Close()
+	req := httpwire.NewRequest("GET", "http://www.bench.test/a/x.html")
+	if resp, err := client.Do(pl.Addr().String(), req); err != nil || resp.Status != 200 {
+		b.Fatalf("prime: %v (status %v)", err, resp)
+	}
+
+	reqs0, writes0, reads0 := wm.Requests.Load(), wm.WriteOps.Load(), wm.ReadOps.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Do(pl.Addr().String(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status != 200 || resp.Header.Get("X-Cache") != "HIT" {
+			b.Fatalf("status %d X-Cache %q", resp.Status, resp.Header.Get("X-Cache"))
+		}
+	}
+	b.StopTimer()
+	served := float64(wm.Requests.Load() - reqs0)
+	if served > 0 {
+		b.ReportMetric(float64(wm.WriteOps.Load()-writes0)/served, "writes/op")
+		b.ReportMetric(float64(wm.ReadOps.Load()-reads0)/served, "reads/op")
 	}
 }

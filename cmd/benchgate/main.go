@@ -10,7 +10,12 @@
 // gate, so adding or retiring benchmarks doesn't break CI. Time (ns/op)
 // regressions beyond -threshold fail; allocs/op is gated absolutely
 // (-allocslack extra allocations allowed) because tiny counts make
-// percentages meaningless. B/op is reported but not gated.
+// percentages meaningless. The custom writes/op metric (write syscalls
+// per request, emitted by the wire benchmarks via b.ReportMetric) is
+// likewise gated absolutely (-writeslack): a fresh hit must stay at one
+// writev per response, and a fractional threshold on a value of 1.0
+// would hide a doubling. B/op and other custom metrics are reported but
+// not gated.
 //
 // Usage:
 //
@@ -29,11 +34,13 @@ import (
 )
 
 type result struct {
-	name   string
-	nsOp   float64
-	bOp    float64
-	allocs float64
-	hasMem bool
+	name      string
+	nsOp      float64
+	bOp       float64
+	allocs    float64
+	writesOp  float64
+	hasMem    bool
+	hasWrites bool
 }
 
 // parseFile extracts benchmark result lines. Repeated runs of the same
@@ -58,7 +65,9 @@ func parseFile(path string) (map[string]result, error) {
 		s.nsOp += r.nsOp
 		s.bOp += r.bOp
 		s.allocs += r.allocs
+		s.writesOp += r.writesOp
 		s.hasMem = s.hasMem || r.hasMem
+		s.hasWrites = s.hasWrites || r.hasWrites
 		sums[r.name] = s
 		counts[r.name]++
 	}
@@ -70,6 +79,7 @@ func parseFile(path string) (map[string]result, error) {
 		s.nsOp /= n
 		s.bOp /= n
 		s.allocs /= n
+		s.writesOp /= n
 		sums[name] = s
 	}
 	return sums, nil
@@ -97,6 +107,9 @@ func parseLine(line string) (result, bool) {
 		case "allocs/op":
 			r.allocs = v
 			r.hasMem = true
+		case "writes/op":
+			r.writesOp = v
+			r.hasWrites = true
 		}
 	}
 	return r, ok
@@ -128,6 +141,7 @@ func main() {
 	newPath := flag.String("new", "", "new benchmark log to compare")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op regression (0.10 = +10%)")
 	allocSlack := flag.Float64("allocslack", 1, "allowed absolute allocs/op increase")
+	writeSlack := flag.Float64("writeslack", 0.25, "allowed absolute writes/op (write syscalls per request) increase")
 	flag.Parse()
 	if *newPath == "" {
 		log.Fatal("benchgate: -new is required")
@@ -167,6 +181,10 @@ func main() {
 			fmt.Printf("%-52s %14.1f %14.1f allocs/op  REGRESSION\n", name+" [allocs]", b.allocs, c.allocs)
 			failures++
 		}
+		if b.hasWrites && c.hasWrites && c.writesOp > b.writesOp+*writeSlack {
+			fmt.Printf("%-52s %14.2f %14.2f writes/op  REGRESSION\n", name+" [writes]", b.writesOp, c.writesOp)
+			failures++
+		}
 	}
 	for name := range cur {
 		if _, ok := base[name]; !ok {
@@ -174,8 +192,8 @@ func main() {
 		}
 	}
 	if failures > 0 {
-		log.Fatalf("benchgate: %d regression(s) beyond +%.0f%% ns/op or +%g allocs/op",
-			failures, *threshold*100, *allocSlack)
+		log.Fatalf("benchgate: %d regression(s) beyond +%.0f%% ns/op, +%g allocs/op, or +%g writes/op",
+			failures, *threshold*100, *allocSlack, *writeSlack)
 	}
 	fmt.Println("benchgate: OK")
 }

@@ -127,6 +127,13 @@ type scenario struct {
 	UpstreamDials int64 `json:"upstream_dials"`
 	PoolWaits     int64 `json:"pool_waits"`
 	UpstreamConns int64 `json:"upstream_conns_open"`
+	// Syscall budget of the proxies' client-facing servers for the run
+	// window: write/read syscalls per request served
+	// (wire.server.syscalls.* ÷ wire.server.requests). Vectored writes
+	// keep wr/op at ~1 regardless of concurrency; CI asserts the
+	// workers=64 fresh-hit row stays ≤ 2.
+	ServerWritesPerOp float64 `json:"server_writes_per_op"`
+	ServerReadsPerOp  float64 `json:"server_reads_per_op"`
 	// Failure telemetry (nonzero only under a -fault profile): expired
 	// entries served on upstream failure, breaker activity, and upstream
 	// errors by wireerr class.
@@ -194,6 +201,7 @@ func main() {
 		"scenario", "piggy", "workers", "proxies", "peer", "fault", "reqs", "errs", "rps",
 		"p50ms", "p90ms", "p99ms", "maxms", "hit%", "peerhit%", "proxyhit%",
 		"piggybacks", "elems", "origin", "dials", "poolwaits", "upconns",
+		"wr/op", "rd/op",
 		"stale", "bropen", "uperr", "pfwd", "pfall", "prop",
 	}}
 	for _, fault := range opt.faults {
@@ -220,6 +228,8 @@ func main() {
 							metrics.Pct(r.PeerHitRatio), pctOrDash(r.ProxyHitRatio),
 							sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
 							sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns,
+							fmt.Sprintf("%.2f", sc.ServerWritesPerOp),
+							fmt.Sprintf("%.2f", sc.ServerReadsPerOp),
 							sc.StaleServes, sc.BreakerOpens, sc.UpstreamErrs,
 							sc.PeerForwards, sc.PeerFallbacks, sc.PeerPropagations)
 					}
@@ -593,6 +603,10 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, c cell) s
 		sc.ProxyRefreshes = d.Counter("proxy.refreshes")
 		sc.UpstreamDials = d.Counter("wire.upstream.dials")
 		sc.PoolWaits = d.Counter("wire.upstream.pool_waits")
+		if served := d.Counter("wire.server.requests"); served > 0 {
+			sc.ServerWritesPerOp = float64(d.Counter("wire.server.syscalls.writes")) / float64(served)
+			sc.ServerReadsPerOp = float64(d.Counter("wire.server.syscalls.reads")) / float64(served)
+		}
 		sc.StaleServes = d.Counter("proxy.stale_serves")
 		sc.BreakerOpens = d.Counter("proxy.breaker.opens")
 		sc.BreakerShortCircuits = d.Counter("proxy.breaker.short_circuits")

@@ -34,11 +34,20 @@ type Fault struct {
 	Blackhole bool
 	// Reset closes the connection immediately on the first write.
 	Reset bool
+	// MaxWriteBytes, when > 0, accepts at most that many bytes per Write
+	// call, returning (n, nil) short writes — an adversarial stand-in for
+	// a congested socket splitting a vectored write across syscalls.
+	// NOTE: this deliberately violates the io.Writer contract (short
+	// write with nil error); callers under test must tolerate it the way
+	// httpwire's vectored write loop does. All bytes are delivered, just
+	// in fragments.
+	MaxWriteBytes int
 }
 
 // active reports whether the fault does anything.
 func (f Fault) active() bool {
-	return f.Latency > 0 || f.TruncateAfter > 0 || f.Blackhole || f.Reset
+	return f.Latency > 0 || f.TruncateAfter > 0 || f.Blackhole || f.Reset ||
+		f.MaxWriteBytes > 0
 }
 
 // Profile is a probabilistic fault schedule: each accepted connection
@@ -143,6 +152,9 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if f.Latency > 0 && !c.slept {
 		c.slept = true
 		sleep = f.Latency
+	}
+	if f.MaxWriteBytes > 0 && len(b) > f.MaxWriteBytes {
+		b = b[:f.MaxWriteBytes]
 	}
 	written := c.written
 	c.written += int64(len(b))

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"io"
+	"net"
 	"testing"
 )
 
@@ -140,19 +141,31 @@ func TestAllocBudgets(t *testing.T) {
 		t.Skip("allocation budgets need steady-state runs")
 	}
 	bw := bufio.NewWriter(io.Discard)
+	// Pre-built messages: serialization does not mutate them, so the runs
+	// measure the write path alone with no construction cost to subtract.
+	plain := benchResponse()
+	trailer := benchTrailerResponse()
+	req := benchRequest()
 	cases := []struct {
 		name   string
 		budget float64
 		fn     func()
 	}{
 		{"WriteResponse/plain", 3, func() {
-			resp := benchResponse()
-			if err := WriteResponse(bw, resp, false); err != nil {
+			if err := WriteResponse(bw, plain, false); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		// The chunked/trailer path shares the pooled segment vector with
+		// the plain path; it must not re-introduce per-chunk formatting
+		// allocs. Measured 0/op: chunk-size hex, tail framing, and trailer
+		// fields all land in the pooled head scratch.
+		{"WriteResponse/trailer", 1, func() {
+			if err := WriteResponse(bw, trailer, false); err != nil {
 				t.Fatal(err)
 			}
 		}},
 		{"WriteRequest", 3, func() {
-			req := benchRequest()
 			if err := WriteRequest(bw, req); err != nil {
 				t.Fatal(err)
 			}
@@ -164,14 +177,50 @@ func TestAllocBudgets(t *testing.T) {
 			// One warmup run primes the scratch pools.
 			tc.fn()
 			got := testing.AllocsPerRun(200, tc.fn)
-			// The closures above rebuild their message per run; subtract
-			// that fixed construction cost so the budget tracks only the
-			// serialization path.
-			base := testing.AllocsPerRun(200, func() { benchResponse(); benchRequest() })
-			if got-base > tc.budget {
-				t.Errorf("%s: %.1f allocs/op beyond message construction (%.1f total, %.1f construction), budget %.1f",
-					tc.name, got-base, got, base, tc.budget)
+			if got > tc.budget {
+				t.Errorf("%s: %.1f allocs/op, budget %.1f", tc.name, got, tc.budget)
 			}
 		})
+	}
+}
+
+// TestWriteVecTCPAllocBudget pins the vectored fast path over a real
+// socket: one response per writev must cost at most the unavoidable
+// net.Buffers header escape — no per-segment or per-header allocation.
+func TestWriteVecTCPAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budgets need steady-state runs")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	resp := benchResponse()
+	run := func() {
+		v := getVec()
+		v.appendResponse(resp, false)
+		if err := writeVec(conn, v); err != nil {
+			t.Fatal(err)
+		}
+		putVec(v)
+	}
+	run()
+	const budget = 2
+	if got := testing.AllocsPerRun(200, run); got > budget {
+		t.Errorf("writeVec over TCP: %.1f allocs/op, budget %d", got, budget)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"io"
 	"sync"
+
+	"piggyback/internal/obs"
 )
 
 // Pools for the wire layer's recurring scratch allocations. A proxy under
@@ -58,6 +60,19 @@ func GetWriter(w io.Writer) *bufio.Writer {
 func PutWriter(bw *bufio.Writer) {
 	bw.Reset(nil)
 	writerPool.Put(bw)
+}
+
+// countingReader wraps a connection to count read syscalls: a bufio
+// reader issues exactly one Read per buffer fill, so the counter tracks
+// prefix.syscalls.reads one-to-one with socket reads.
+type countingReader struct {
+	r   io.Reader
+	ops *obs.Counter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	c.ops.Inc()
+	return c.r.Read(p)
 }
 
 func getKeyScratch() *[]string {

@@ -179,16 +179,50 @@ func (s *Server) serveConn(base context.Context, conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	br := GetReader(conn)
-	bw := GetWriter(conn)
+	src := io.Reader(conn)
+	if s.Obs != nil {
+		src = &countingReader{r: conn, ops: s.Obs.ReadOps}
+	}
+	br := GetReader(src)
 	defer PutReader(br)
-	defer PutWriter(bw)
+	// Responses accumulate as writev segments and go to the socket in one
+	// vectored write per coalesced batch — a pipelined burst of requests
+	// costs one read and one write syscall for the whole burst.
+	out := getVec()
+	defer putVec(out)
+	pending := 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		err := writeVec(conn, out)
+		if s.Obs != nil {
+			s.Obs.WriteOps.Inc()
+			s.Obs.WriteBatch.Observe(int64(pending))
+		}
+		out.reset()
+		pending = 0
+		return err
+	}
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout())); err != nil {
-			return
+		// Only flush queued responses and arm the idle deadline when the
+		// next request isn't already sitting in the read buffer; never
+		// block on the socket while owing the client a response.
+		if !requestBuffered(br) {
+			if err := flush(); err != nil {
+				if s.Obs != nil {
+					s.Obs.Errors.Inc()
+				}
+				s.logf("httpwire: write response to %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout())); err != nil {
+				return
+			}
 		}
 		req, err := ReadRequest(br)
 		if err != nil {
+			_ = flush()
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				var nerr net.Error
 				if !(errors.As(err, &nerr) && nerr.Timeout()) {
@@ -196,7 +230,9 @@ func (s *Server) serveConn(base context.Context, conn net.Conn) {
 					if errors.Is(err, ErrMalformed) {
 						resp := NewResponse(400)
 						resp.Header.Set("Connection", "close")
-						_ = WriteResponse(bw, resp, false)
+						out.appendResponse(resp, false)
+						pending++
+						_ = flush()
 					}
 				}
 			}
@@ -215,13 +251,8 @@ func (s *Server) serveConn(base context.Context, conn net.Conn) {
 			}
 			resp.Header.Set("Connection", "close")
 		}
-		if err := WriteResponse(bw, resp, req.Method == "HEAD"); err != nil {
-			if s.Obs != nil {
-				s.Obs.Errors.Inc()
-			}
-			s.logf("httpwire: write response to %s: %v", conn.RemoteAddr(), err)
-			return
-		}
+		out.appendResponse(resp, req.Method == "HEAD")
+		pending++
 		if s.Obs != nil {
 			s.Obs.Requests.Inc()
 			s.Obs.BytesIn.Add(int64(len(req.Body)))
@@ -229,10 +260,31 @@ func (s *Server) serveConn(base context.Context, conn net.Conn) {
 			s.Obs.Latency.Observe(time.Since(start).Microseconds())
 		}
 		if close || resp.Header.WantsClose() {
+			if err := flush(); err != nil {
+				if s.Obs != nil {
+					s.Obs.Errors.Inc()
+				}
+				s.logf("httpwire: write response to %s: %v", conn.RemoteAddr(), err)
+			}
 			return
+		}
+		// Bound the batch so a long pipeline doesn't pin unbounded body
+		// bytes before anything reaches the wire.
+		if out.size() >= maxResponseBatchBytes {
+			if err := flush(); err != nil {
+				if s.Obs != nil {
+					s.Obs.Errors.Inc()
+				}
+				s.logf("httpwire: write response to %s: %v", conn.RemoteAddr(), err)
+				return
+			}
 		}
 	}
 }
+
+// maxResponseBatchBytes caps how many serialized response bytes the serve
+// loop queues before forcing a vectored write.
+const maxResponseBatchBytes = 256 << 10
 
 // Client issues requests over a per-host pool of persistent connections (a
 // proxy multiplexes many clients onto persistent connections to each
@@ -260,15 +312,25 @@ type Client struct {
 	// RetryBackoff is the pause before the single retry after a failure
 	// on a reused connection; zero means 2ms.
 	RetryBackoff time.Duration
+	// MaxInflightPerConn, when > 1, multiplexes that many concurrent
+	// exchanges onto each persistent connection: a writer goroutine
+	// coalesces queued requests into single writev bursts and a reader
+	// goroutine demuxes the pipelined responses in order, so N in-flight
+	// requests to one host share one read/write pair instead of N. An
+	// exchange that fails on a multiplexed connection (possibly another
+	// exchange's fault) falls back to the classic one-exchange-per-conn
+	// pool. Zero or one keeps the classic path exclusively.
+	MaxInflightPerConn int
 	// Obs, when non-nil, receives wire-level telemetry: per-exchange
 	// round-trip latency, retries, dials, body bytes, per-class failure
 	// counters, and the pool gauges (open/idle connections, waits,
 	// reaped conns).
 	Obs *obs.WireMetrics
 
-	mu     sync.Mutex
-	pools  map[string]*pool
-	closed bool
+	mu       sync.Mutex
+	pools    map[string]*pool
+	muxHosts map[string]*muxHost
+	closed   bool
 }
 
 // pool is the per-origin connection pool: every open connection is in
@@ -291,19 +353,18 @@ type clientConn struct {
 	pool     *pool
 	conn     net.Conn
 	br       *bufio.Reader
-	bw       *bufio.Writer
 	lastUsed time.Time
 }
 
-// releaseBuffers returns the connection's pooled bufio pair. Callers must
-// hold exclusive use of the connection (its holder, or the pool for a conn
-// on the idle list); a busy connection's buffers are released by its holder
+// releaseBuffers returns the connection's pooled reader (requests go out
+// as vectored writes, so there is no writer to pool). Callers must hold
+// exclusive use of the connection (its holder, or the pool for a conn on
+// the idle list); a busy connection's buffers are released by its holder
 // via discardConn, never by Close underneath it.
 func (cc *clientConn) releaseBuffers() {
 	if cc.br != nil {
 		PutReader(cc.br)
-		PutWriter(cc.bw)
-		cc.br, cc.bw = nil, nil
+		cc.br = nil
 	}
 }
 
@@ -377,15 +438,46 @@ func (c *Client) Do(addr string, req *Request) (*Response, error) {
 }
 
 // DoContext sends req to the server at addr ("host:port") and returns its
-// response, drawing a persistent connection from the per-host pool. The
-// exchange is bounded by the sooner of ctx's deadline and RequestTimeout;
-// cancelling ctx interrupts the exchange (the connection is discarded). A
-// request that fails on a reused connection (the server may have timed it
-// out) is retried once on a fresh connection after a short backoff.
-// Failures are classified per the wireerr taxonomy: errors.Is against
-// wireerr.ErrDialTimeout, ErrRequestTimeout, ErrCanceled, and
+// response. With MaxInflightPerConn > 1 the exchange rides a multiplexed
+// persistent connection shared with other concurrent exchanges to addr
+// (one writev burst and one reader for all of them); a failure there that
+// isn't the caller's own cancellation falls back to the classic pooled
+// one-exchange-per-connection path. The exchange is bounded by the sooner
+// of ctx's deadline and RequestTimeout; cancelling ctx interrupts the
+// exchange. Failures are classified per the wireerr taxonomy: errors.Is
+// against wireerr.ErrDialTimeout, ErrRequestTimeout, ErrCanceled, and
 // ErrTruncatedBody holds on the corresponding paths.
 func (c *Client) DoContext(ctx context.Context, addr string, req *Request) (*Response, error) {
+	if c.MaxInflightPerConn > 1 {
+		start := time.Now()
+		resp, fallback, err := c.muxDo(ctx, addr, req)
+		if err == nil {
+			if c.Obs != nil {
+				c.Obs.Requests.Inc()
+				c.Obs.BytesOut.Add(int64(len(req.Body)))
+				c.Obs.BytesIn.Add(int64(len(resp.Body)))
+				c.Obs.Latency.Observe(time.Since(start).Microseconds())
+			}
+			return resp, nil
+		}
+		if !fallback || ctx.Err() != nil {
+			c.countError(err)
+			return nil, err
+		}
+		// The multiplexed connection died under this exchange — possibly
+		// another exchange's fault — so the request itself may still be
+		// serviceable; retry it with a connection of its own.
+		if c.Obs != nil {
+			c.Obs.Retries.Inc()
+		}
+	}
+	return c.doPooled(ctx, addr, req)
+}
+
+// doPooled runs one exchange on an exclusively-held pooled connection:
+// a request that fails on a reused connection (the server may have timed
+// it out) is retried once on a fresh connection after a short backoff.
+func (c *Client) doPooled(ctx context.Context, addr string, req *Request) (*Response, error) {
 	start := time.Now()
 	cc, reused, err := c.acquire(ctx, addr)
 	if err != nil {
@@ -452,7 +544,15 @@ func (c *Client) roundTrip(ctx context.Context, cc *clientConn, req *Request) (*
 		cc.conn.SetDeadline(time.Unix(1, 0))
 	})
 	defer stop()
-	if err := WriteRequest(cc.bw, req); err != nil {
+	v := getVec()
+	v.appendRequest(req)
+	err := writeVec(cc.conn, v)
+	putVec(v)
+	if c.Obs != nil {
+		c.Obs.WriteOps.Inc()
+		c.Obs.WriteBatch.Observe(1)
+	}
+	if err != nil {
 		return nil, wireerr.Exchange(ctx, err)
 	}
 	resp, err := ReadResponse(cc.br, req.Method == "HEAD")
@@ -549,8 +649,11 @@ func (p *pool) dial(ctx context.Context) (*clientConn, bool, error) {
 		p.mu.Unlock()
 		return nil, false, wireerr.Dial(ctx, err)
 	}
-	cc := &clientConn{pool: p, conn: conn,
-		br: GetReader(conn), bw: GetWriter(conn)}
+	src := io.Reader(conn)
+	if p.c.Obs != nil {
+		src = &countingReader{r: conn, ops: p.c.Obs.ReadOps}
+	}
+	cc := &clientConn{pool: p, conn: conn, br: GetReader(src)}
 	p.mu.Lock()
 	if p.closed {
 		p.active--
@@ -644,13 +747,19 @@ func (p *pool) removeLocked(cc *clientConn) bool {
 
 // Close shuts all pooled connections and fails waiting acquirers.
 // Connections currently carrying a request are closed too; their holders
-// see the exchange fail.
+// see the exchange fail. Multiplexed connections are torn down, failing
+// their in-flight exchanges.
 func (c *Client) Close() {
 	c.mu.Lock()
 	c.closed = true
 	pools := c.pools
 	c.pools = make(map[string]*pool)
+	hosts := c.muxHosts
+	c.muxHosts = nil
 	c.mu.Unlock()
+	for _, h := range hosts {
+		h.closeAll()
+	}
 	for _, p := range pools {
 		p.mu.Lock()
 		p.closed = true

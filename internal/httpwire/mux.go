@@ -1,0 +1,475 @@
+package httpwire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piggyback/internal/httpwire/wireerr"
+)
+
+// Multiplexed upstream exchanges. The classic pool gives every in-flight
+// request an exclusive connection: N concurrent misses to one origin cost
+// N write syscalls, N read syscalls, and N pool slots. The mux path
+// generalizes pipeline.go's batch-only pipelining into a persistent
+// per-connection exchange: callers enqueue requests on a shared
+// connection, a writer goroutine coalesces whatever is queued into a
+// single writev burst, and a reader goroutine demuxes the responses in
+// FIFO order back to the callers. HTTP/1.1 responses carry no exchange
+// IDs, so order IS the correlation — the writer records each call on the
+// in-flight queue before its bytes reach the wire, and the reader answers
+// calls strictly in that order.
+//
+// Failure semantics mirror DoContext: per-call deadlines (the sooner of
+// RequestTimeout and the caller's context deadline) are enforced by the
+// reader via SetReadDeadline before each response; a caller whose context
+// ends mid-flight detaches immediately (wireerr.ErrCanceled /
+// ErrRequestTimeout) and the reader later discards its response, keeping
+// the stream in sync. Any connection-level error tears the whole
+// connection down and fails every queued exchange — their callers fall
+// back to the classic pool, so one bad multiplexed conn degrades to
+// one-exchange-per-conn instead of failing requests.
+
+// muxWriteQueueCap bounds responses the writer can have in flight to the
+// reader; pushes beyond it apply backpressure to the writer, not callers.
+const muxWriteQueueCap = 64
+
+// muxCall is one exchange riding a multiplexed connection.
+type muxCall struct {
+	req      *Request
+	deadline time.Time
+	resp     *Response
+	err      error
+	done     chan struct{}
+	// abandoned marks a caller that stopped waiting (context ended): the
+	// reader still consumes the response to keep the pipeline in sync,
+	// then discards it.
+	abandoned atomic.Bool
+	// finished guards single completion: reader delivery, writer-side
+	// failure, and teardown drains can race on the same call.
+	finished atomic.Bool
+}
+
+// muxHost is the set of multiplexed connections to one address.
+type muxHost struct {
+	c    *Client
+	addr string
+
+	mu    sync.Mutex
+	cond  *sync.Cond // signaled when a dial completes (either way)
+	conns []*muxConn
+	dials int // in-flight dials, counted against maxConnsPerHost
+}
+
+// muxConn is one multiplexed connection: submitters append to queue, the
+// writer goroutine drains it in writev bursts and records written calls on
+// rq, the reader goroutine answers rq in order.
+type muxConn struct {
+	host *muxHost
+	conn net.Conn
+	br   *bufio.Reader
+
+	mu    sync.Mutex
+	dead  bool
+	queue []*muxCall
+
+	kick     chan struct{} // wakes the writer; capacity 1
+	rq       chan *muxCall // written calls awaiting responses, FIFO
+	inflight atomic.Int64  // queued + awaiting-response exchanges
+	closed   chan struct{}
+	once     sync.Once
+	failure  atomic.Value // error
+}
+
+// muxDo runs one exchange over the multiplexed tier. fallback reports
+// whether the classic pool may retry the request: true for failures of a
+// shared connection (another exchange may be at fault), false when
+// retrying would repeat the same failure (dial errors, caller's own
+// context ending).
+func (c *Client) muxDo(ctx context.Context, addr string, req *Request) (resp *Response, fallback bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, wireerr.FromContext(err)
+	}
+	h, err := c.muxHostFor(addr)
+	if err != nil {
+		return nil, false, err
+	}
+	mc, err := h.pick(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	deadline := time.Now().Add(c.requestTimeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	call := &muxCall{req: req, deadline: deadline, done: make(chan struct{})}
+	if !mc.submit(call) {
+		// Lost the race with a teardown; the pooled path can retry.
+		return nil, true, mc.err()
+	}
+	select {
+	case <-call.done:
+		if call.err != nil {
+			// Fall back only while the call's own time budget remains: a
+			// failure at (or past) its deadline would just repeat on the
+			// pool — and could otherwise race ctx.Err() into a doomed
+			// zero-budget pooled dial.
+			return nil, time.Now().Before(call.deadline), call.err
+		}
+		return call.resp, false, nil
+	case <-ctx.Done():
+		call.abandoned.Store(true)
+		return nil, false, wireerr.FromContext(ctx.Err())
+	}
+}
+
+// muxHostFor returns the mux host for addr, creating it on first use.
+func (c *Client) muxHostFor(addr string) (*muxHost, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, net.ErrClosed
+	}
+	if c.muxHosts == nil {
+		c.muxHosts = make(map[string]*muxHost)
+	}
+	h, ok := c.muxHosts[addr]
+	if !ok {
+		h = &muxHost{c: c, addr: addr}
+		h.cond = sync.NewCond(&h.mu)
+		c.muxHosts[addr] = h
+	}
+	return h, nil
+}
+
+// pick chooses the least-loaded live connection, dialing a new one when
+// every conn is at MaxInflightPerConn and the per-host bound allows.
+// Past the bound the least-loaded conn absorbs the overflow — exchanges
+// queue on it rather than failing.
+func (h *muxHost) pick(ctx context.Context) (*muxConn, error) {
+	maxInflight := int64(h.c.MaxInflightPerConn)
+	bound := h.c.maxConnsPerHost()
+	// A waiter parked on cond must wake when the caller gives up.
+	stop := context.AfterFunc(ctx, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	defer stop()
+	h.mu.Lock()
+	for {
+		if err := ctx.Err(); err != nil {
+			h.mu.Unlock()
+			return nil, wireerr.FromContext(err)
+		}
+		live := h.conns[:0]
+		for _, mc := range h.conns {
+			select {
+			case <-mc.closed:
+			default:
+				live = append(live, mc)
+			}
+		}
+		h.conns = live
+		var best *muxConn
+		for _, mc := range h.conns {
+			if best == nil || mc.inflight.Load() < best.inflight.Load() {
+				best = mc
+			}
+		}
+		if best != nil && (best.inflight.Load() < maxInflight || len(h.conns)+h.dials >= bound) {
+			h.mu.Unlock()
+			return best, nil
+		}
+		if len(h.conns)+h.dials < bound {
+			h.dials++
+			break
+		}
+		// No usable connection and the host is at its dial bound (a
+		// cold-start storm): wait for an in-flight dial to land.
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+	mc, err := h.dial(ctx)
+	h.mu.Lock()
+	h.dials--
+	if err == nil {
+		h.conns = append(h.conns, mc)
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return mc, nil
+}
+
+// dial establishes one multiplexed connection and starts its goroutine
+// pair.
+func (h *muxHost) dial(ctx context.Context) (*muxConn, error) {
+	d := net.Dialer{Timeout: h.c.dialTimeout()}
+	conn, err := d.DialContext(ctx, "tcp", h.addr)
+	if err != nil {
+		return nil, wireerr.Dial(ctx, err)
+	}
+	src := io.Reader(conn)
+	if h.c.Obs != nil {
+		src = &countingReader{r: conn, ops: h.c.Obs.ReadOps}
+	}
+	mc := &muxConn{
+		host:   h,
+		conn:   conn,
+		br:     GetReader(src),
+		kick:   make(chan struct{}, 1),
+		rq:     make(chan *muxCall, muxWriteQueueCap),
+		closed: make(chan struct{}),
+	}
+	if h.c.Obs != nil {
+		h.c.Obs.Dials.Inc()
+		h.c.Obs.ConnsOpen.Inc()
+	}
+	go mc.writeLoop()
+	go mc.readLoop()
+	return mc, nil
+}
+
+// submit enqueues a call for the writer. It reports false when the
+// connection is already dead — the call was not queued and will not be
+// finished.
+func (mc *muxConn) submit(call *muxCall) bool {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return false
+	}
+	mc.queue = append(mc.queue, call)
+	mc.inflight.Add(1)
+	mc.mu.Unlock()
+	select {
+	case mc.kick <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// finish completes a call exactly once and releases its inflight slot.
+func (mc *muxConn) finish(call *muxCall, resp *Response, err error) {
+	if !call.finished.CompareAndSwap(false, true) {
+		return
+	}
+	call.resp, call.err = resp, err
+	mc.inflight.Add(-1)
+	close(call.done)
+}
+
+// err returns the teardown cause, for failing calls that never made it
+// onto the wire.
+func (mc *muxConn) err() error {
+	if v := mc.failure.Load(); v != nil {
+		return v.(error)
+	}
+	return fmt.Errorf("%w: multiplexed connection closed", net.ErrClosed)
+}
+
+// teardown kills the connection once: marks it dead (no new submissions),
+// closes the socket (unblocking both loops), and unregisters it from the
+// host. Draining and failing queued calls is the loops' exit duty — the
+// writer owns queue, both loops drain rq.
+func (mc *muxConn) teardown(cause error) {
+	mc.once.Do(func() {
+		if cause == nil {
+			cause = net.ErrClosed
+		}
+		mc.failure.Store(cause)
+		mc.mu.Lock()
+		mc.dead = true
+		mc.mu.Unlock()
+		close(mc.closed)
+		mc.conn.Close()
+		h := mc.host
+		h.mu.Lock()
+		for i, x := range h.conns {
+			if x == mc {
+				h.conns = append(h.conns[:i], h.conns[i+1:]...)
+				break
+			}
+		}
+		h.mu.Unlock()
+		if h.c.Obs != nil {
+			h.c.Obs.ConnsOpen.Add(-1)
+		}
+	})
+}
+
+// writeLoop drains the submission queue into writev bursts: every queued
+// request that accumulated while the previous burst was on the wire goes
+// out in one syscall. Each call is recorded on rq before its bytes are
+// written so the reader can never see a response for an unknown call.
+func (mc *muxConn) writeLoop() {
+	c := mc.host.c
+	for {
+		select {
+		case <-mc.kick:
+		case <-mc.closed:
+			mc.exitWriter()
+			return
+		}
+		for {
+			mc.mu.Lock()
+			batch := mc.queue
+			mc.queue = nil
+			mc.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			v := getVec()
+			n := 0
+			var latest time.Time
+			aborted := false
+			for i, call := range batch {
+				if call.abandoned.Load() {
+					// Not yet written: drop it entirely rather than
+					// wasting origin work and reader discards.
+					mc.finish(call, nil, wireerr.FromContext(context.Canceled))
+					continue
+				}
+				select {
+				case mc.rq <- call:
+				case <-mc.closed:
+					mc.failCalls(batch[i:])
+					aborted = true
+				}
+				if aborted {
+					break
+				}
+				v.appendRequest(call.req)
+				if call.deadline.After(latest) {
+					latest = call.deadline
+				}
+				n++
+			}
+			if aborted || n == 0 {
+				putVec(v)
+				if aborted {
+					mc.exitWriter()
+					return
+				}
+				continue
+			}
+			mc.conn.SetWriteDeadline(latest)
+			err := writeVec(mc.conn, v)
+			putVec(v)
+			if c.Obs != nil {
+				c.Obs.WriteOps.Inc()
+				c.Obs.WriteBatch.Observe(int64(n))
+			}
+			if err != nil {
+				mc.teardown(wireerr.Exchange(context.Background(), err))
+				mc.exitWriter()
+				return
+			}
+		}
+	}
+}
+
+// exitWriter fails everything the writer is responsible for after
+// teardown: the unwritten submission queue and (shared with the reader's
+// exit) anything left on rq.
+func (mc *muxConn) exitWriter() {
+	mc.mu.Lock()
+	queued := mc.queue
+	mc.queue = nil
+	mc.mu.Unlock()
+	mc.failCalls(queued)
+	mc.drainRQ()
+}
+
+// readLoop answers written calls in FIFO order, enforcing each call's own
+// deadline on its response read. Responses for abandoned callers are read
+// and discarded — consuming them is what keeps the pipeline correlated.
+func (mc *muxConn) readLoop() {
+	// The reader owns br exclusively; repool it once the loop is done
+	// (teardown has closed the socket by then on every exit path).
+	defer PutReader(mc.br)
+	for {
+		var call *muxCall
+		select {
+		case call = <-mc.rq:
+		case <-mc.closed:
+			mc.drainRQ()
+			return
+		}
+		mc.conn.SetReadDeadline(call.deadline)
+		resp, err := ReadResponse(mc.br, call.req.Method == "HEAD")
+		if err != nil {
+			err = classifyMuxRead(err)
+			mc.finish(call, nil, err)
+			mc.teardown(err)
+			mc.drainRQ()
+			return
+		}
+		wantsClose := resp.Header.WantsClose()
+		if call.abandoned.Load() {
+			mc.finish(call, nil, wireerr.FromContext(context.Canceled))
+		} else {
+			mc.finish(call, resp, nil)
+		}
+		if wantsClose {
+			mc.teardown(fmt.Errorf("%w: server closed multiplexed connection", net.ErrClosed))
+			mc.drainRQ()
+			return
+		}
+	}
+}
+
+// drainRQ fails every call still awaiting a response. Both loops call it
+// on exit; finish's CAS makes the overlap harmless, and the writer never
+// pushes to rq after observing closed, so nothing is left behind.
+func (mc *muxConn) drainRQ() {
+	for {
+		select {
+		case call := <-mc.rq:
+			mc.finish(call, nil, mc.err())
+		default:
+			return
+		}
+	}
+}
+
+func (mc *muxConn) failCalls(calls []*muxCall) {
+	for _, call := range calls {
+		mc.finish(call, nil, mc.err())
+	}
+}
+
+// classifyMuxRead maps a response-read error into the wireerr taxonomy.
+// There is no single caller context here — the deadline on the conn came
+// from the call being read — so net timeouts become ErrRequestTimeout
+// directly.
+func classifyMuxRead(err error) error {
+	var nerr net.Error
+	switch {
+	case errors.As(err, &nerr) && nerr.Timeout():
+		return fmt.Errorf("%w: %w", wireerr.ErrRequestTimeout, err)
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("%w: %w", wireerr.ErrTruncatedBody, err)
+	default:
+		return err
+	}
+}
+
+// closeAll tears down every connection of the host (Client.Close).
+func (h *muxHost) closeAll() {
+	h.mu.Lock()
+	conns := append([]*muxConn(nil), h.conns...)
+	h.mu.Unlock()
+	for _, mc := range conns {
+		mc.teardown(net.ErrClosed)
+	}
+}

@@ -1,0 +1,275 @@
+package httpwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"piggyback/internal/faultconn"
+	"piggyback/internal/httpwire/wireerr"
+	"piggyback/internal/obs"
+)
+
+// newMuxClient returns a client with the multiplexed upstream tier enabled
+// and metrics attached.
+func newMuxClient(inflight int) *Client {
+	c := NewClient()
+	c.MaxInflightPerConn = inflight
+	c.Obs = obs.NewWireMetrics(obs.NewRegistry(), "wire.mux")
+	return c
+}
+
+func TestMuxBasicMultiplexing(t *testing.T) {
+	var conns int32
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Handler: HandlerFunc(echoHandler)}
+	go srv.Serve(&countingListener{Listener: l, n: &conns})
+	defer srv.Close()
+
+	c := newMuxClient(8)
+	defer c.Close()
+
+	const requests = 40
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/mux%d", i)
+			resp, err := c.Do(l.Addr().String(), NewRequest("GET", path))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if string(resp.Body) != "echo:"+path {
+				errs[i] = fmt.Errorf("body %q for %s", resp.Body, path)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Responses demuxed back to the right callers over far fewer
+	// connections than requests — the whole point of the tier.
+	got := atomic.LoadInt32(&conns)
+	if got >= requests {
+		t.Errorf("%d requests used %d connections; multiplexing inactive", requests, got)
+	}
+	if max := int32(c.maxConnsPerHost()); got > max {
+		t.Errorf("%d connections exceeds per-host bound %d", got, max)
+	}
+	if c.Obs.WriteBatch.Count() == 0 {
+		t.Error("no writev batches recorded on the mux path")
+	}
+}
+
+func TestMuxSequentialOrdering(t *testing.T) {
+	addr := startServer(t, HandlerFunc(echoHandler))
+	c := newMuxClient(4)
+	defer c.Close()
+	// Sequential requests on one multiplexed conn must come back in
+	// submission order (FIFO is the HTTP/1.1 correlation).
+	for i := 0; i < 25; i++ {
+		path := fmt.Sprintf("/seq%d", i)
+		resp, err := c.Do(addr, NewRequest("GET", path))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if string(resp.Body) != "echo:"+path {
+			t.Fatalf("request %d got %q", i, resp.Body)
+		}
+	}
+}
+
+// resetFirstListener resets the first accepted connection on its first
+// write and passes the rest through untouched.
+type resetFirstListener struct {
+	net.Listener
+	accepted atomic.Int32
+}
+
+func (l *resetFirstListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.accepted.Add(1) == 1 {
+		return faultconn.Wrap(conn, faultconn.Fault{Reset: true}), nil
+	}
+	return conn, nil
+}
+
+func TestMuxFallsBackToPool(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfl := &resetFirstListener{Listener: l}
+	srv := &Server{Handler: HandlerFunc(echoHandler)}
+	go srv.Serve(rfl)
+	defer srv.Close()
+
+	c := newMuxClient(4)
+	defer c.Close()
+	// The first (multiplexed) connection dies mid-exchange; DoContext must
+	// transparently retry on the classic pool.
+	resp, err := c.Do(l.Addr().String(), NewRequest("GET", "/fallback"))
+	if err != nil {
+		t.Fatalf("fallback request failed: %v", err)
+	}
+	if string(resp.Body) != "echo:/fallback" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if c.Obs.Retries.Load() == 0 {
+		t.Error("fallback did not count a retry")
+	}
+	if rfl.accepted.Load() < 2 {
+		t.Error("fallback never reached the pool path")
+	}
+}
+
+func TestMuxCanceledCallerDetaches(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	h := HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		if req.Path == "/slow" {
+			select {
+			case <-release:
+			case <-time.After(5 * time.Second):
+			}
+		}
+		return echoHandler(ctx, req)
+	})
+	addr := startServer(t, h)
+	c := newMuxClient(4)
+	defer c.Close()
+
+	// Establish the multiplexed connection first so the short deadline
+	// below races the exchange, never the dial.
+	if _, err := c.Do(addr, NewRequest("GET", "/warm")); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.DoContext(ctx, addr, NewRequest("GET", "/slow"))
+	if !errors.Is(err, wireerr.ErrRequestTimeout) && !errors.Is(err, wireerr.ErrCanceled) {
+		t.Fatalf("canceled caller got %v, want wireerr timeout/cancel", err)
+	}
+	once.Do(func() { close(release) })
+
+	// The connection must still be usable: the reader discards the
+	// abandoned response and stays correlated.
+	resp, err := c.Do(addr, NewRequest("GET", "/after"))
+	if err != nil {
+		t.Fatalf("request after cancellation: %v", err)
+	}
+	if string(resp.Body) != "echo:/after" {
+		t.Fatalf("stream desynchronized: %q", resp.Body)
+	}
+}
+
+// TestMuxCancellationHammer is the -race stress for the multiplexed tier:
+// many goroutines share a few connections while a third of the callers
+// abandon mid-flight, exercising every submit/finish/teardown interleaving.
+func TestMuxCancellationHammer(t *testing.T) {
+	h := HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		if len(req.Path)%3 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		return echoHandler(ctx, req)
+	})
+	addr := startServer(t, h)
+	c := newMuxClient(4)
+	defer c.Close()
+
+	const workers = 8
+	const perWorker = 30
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				path := fmt.Sprintf("/h%d-%d", g, i)
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if i%3 == 0 {
+					// Deadline short enough to abandon some calls
+					// mid-flight, long enough that others land.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*500*time.Microsecond)
+				}
+				resp, err := c.DoContext(ctx, addr, NewRequest("GET", path))
+				cancel()
+				switch {
+				case err == nil:
+					if string(resp.Body) != "echo:"+path {
+						t.Errorf("cross-wired body %q for %s", resp.Body, path)
+						failures.Add(1)
+						return
+					}
+				case errors.Is(err, wireerr.ErrCanceled),
+					errors.Is(err, wireerr.ErrRequestTimeout),
+					errors.Is(err, wireerr.ErrDialTimeout),
+					errors.Is(err, wireerr.ErrTruncatedBody),
+					errors.Is(err, net.ErrClosed):
+					// Expected outcomes for abandoned or collateral calls
+					// (a sub-millisecond deadline can expire inside a dial).
+				default:
+					t.Errorf("unclassified error for %s: %v", path, err)
+					failures.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatal("hammer saw failures")
+	}
+	// Steady state after the storm: a fresh exchange must still work.
+	resp, err := c.Do(addr, NewRequest("GET", "/steady"))
+	if err != nil || string(resp.Body) != "echo:/steady" {
+		t.Fatalf("post-hammer exchange: %v %q", err, resp)
+	}
+}
+
+func TestMuxClientCloseFailsInflight(t *testing.T) {
+	block := make(chan struct{})
+	h := HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		<-block
+		return echoHandler(ctx, req)
+	})
+	addr := startServer(t, h)
+	c := newMuxClient(4)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/blocked"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.Close()
+	close(block)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("in-flight exchange survived Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exchange hung after Close")
+	}
+}

@@ -88,28 +88,46 @@ func (c *Client) DoAllContext(ctx context.Context, addr string, reqs []*Request)
 }
 
 // pipeline runs one batch on a connection the caller owns exclusively.
+// The whole batch goes out as one vectored write, and each response read
+// gets its own remaining-time budget — the sooner of RequestTimeout from
+// the moment its read starts and the caller's context deadline — so a
+// slow early response cannot starve later pipelined responses of theirs
+// (the old single scaled batch deadline did exactly that).
 func (c *Client) pipeline(ctx context.Context, cc *clientConn, reqs []*Request) ([]*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wireerr.FromContext(err)
 	}
-	deadline := deadlineFor(c, len(reqs))
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-	if err := cc.conn.SetDeadline(deadline); err != nil {
+	if err := cc.conn.SetWriteDeadline(perExchangeDeadline(ctx, c)); err != nil {
 		return nil, err
 	}
 	stop := context.AfterFunc(ctx, func() {
 		cc.conn.SetDeadline(time.Unix(1, 0))
 	})
 	defer stop()
+	v := getVec()
 	for _, req := range reqs {
-		if err := WriteRequest(cc.bw, req); err != nil {
-			return nil, wireerr.Exchange(ctx, err)
-		}
+		v.appendRequest(req)
+	}
+	err := writeVec(cc.conn, v)
+	putVec(v)
+	if c.Obs != nil {
+		c.Obs.WriteOps.Inc()
+		c.Obs.WriteBatch.Observe(int64(len(reqs)))
+	}
+	if err != nil {
+		return nil, wireerr.Exchange(ctx, err)
 	}
 	resps := make([]*Response, 0, len(reqs))
 	for _, req := range reqs {
+		// Re-arming the read deadline would mask the AfterFunc poke of a
+		// context that already ended; check first. (A poke racing in
+		// between still fails the read within one request timeout.)
+		if err := ctx.Err(); err != nil {
+			return resps, wireerr.FromContext(err)
+		}
+		if err := cc.conn.SetReadDeadline(perExchangeDeadline(ctx, c)); err != nil {
+			return resps, err
+		}
 		resp, err := ReadResponse(cc.br, req.Method == "HEAD")
 		if err != nil {
 			return resps, wireerr.Exchange(ctx, err)
@@ -119,12 +137,12 @@ func (c *Client) pipeline(ctx context.Context, cc *clientConn, reqs []*Request) 
 	return resps, nil
 }
 
-func deadlineFor(c *Client, n int) time.Time {
-	d := c.requestTimeout()
-	// The whole pipeline shares one deadline, scaled modestly with batch
-	// size so large pages don't trip the single-request timeout.
-	if n > 4 {
-		d += d / 2
+// perExchangeDeadline is the budget for one wire step started now: the
+// flat RequestTimeout, cut short by the caller's context deadline.
+func perExchangeDeadline(ctx context.Context, c *Client) time.Time {
+	d := time.Now().Add(c.requestTimeout())
+	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+		d = cd
 	}
-	return time.Now().Add(d)
+	return d
 }

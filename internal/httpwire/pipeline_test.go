@@ -1,11 +1,15 @@
 package httpwire
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"piggyback/internal/core"
+	"piggyback/internal/httpwire/wireerr"
 )
 
 func TestPipelineBasic(t *testing.T) {
@@ -127,5 +131,75 @@ func TestPipelineRetriesStaleConnection(t *testing.T) {
 	resps, err := c.DoAll(addr, []*Request{NewRequest("GET", "/x"), NewRequest("GET", "/y")})
 	if err != nil || len(resps) != 2 {
 		t.Fatalf("pipeline retry failed: %v (%d responses)", err, len(resps))
+	}
+}
+
+func TestPipelinePerExchangeDeadlines(t *testing.T) {
+	// Regression for the shared batch deadline: three responses that each
+	// take ~100ms must survive a 200ms RequestTimeout, because every read
+	// gets its own remaining-time budget from the moment it starts. The
+	// old single SetDeadline for the whole batch expired before the third
+	// response. Bodies are sized past maxResponseBatchBytes so the server
+	// flushes each response as it finishes instead of coalescing the
+	// batch — the arrivals must be spread in time to discriminate.
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	body := bytes.Repeat([]byte("x"), maxResponseBatchBytes+1024)
+	h := HandlerFunc(func(_ context.Context, req *Request) *Response {
+		time.Sleep(100 * time.Millisecond)
+		resp := NewResponse(200)
+		resp.Header.Set("X-Path", req.Path)
+		resp.Body = body
+		return resp
+	})
+	addr := startServer(t, h)
+	c := NewClient()
+	c.RequestTimeout = 200 * time.Millisecond
+	defer c.Close()
+
+	reqs := []*Request{
+		NewRequest("GET", "/d0"),
+		NewRequest("GET", "/d1"),
+		NewRequest("GET", "/d2"),
+	}
+	resps, err := c.DoAll(addr, reqs)
+	if err != nil {
+		t.Fatalf("pipeline with per-exchange budgets: %v (%d responses)", err, len(resps))
+	}
+	for i, r := range resps {
+		if r.Header.Get("X-Path") != fmt.Sprintf("/d%d", i) {
+			t.Fatalf("response %d answered %q", i, r.Header.Get("X-Path"))
+		}
+	}
+}
+
+func TestPipelineContextDeadlineStillBounds(t *testing.T) {
+	// The per-exchange budget must not extend past the caller's own
+	// context deadline: a batch that cannot finish in time fails with the
+	// timeout taxonomy instead of running RequestTimeout-per-read long.
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	h := HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		time.Sleep(80 * time.Millisecond)
+		return echoHandler(ctx, req)
+	})
+	addr := startServer(t, h)
+	c := NewClient()
+	c.RequestTimeout = 5 * time.Second
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.DoAllContext(ctx, addr, []*Request{
+		NewRequest("GET", "/a"), NewRequest("GET", "/b"), NewRequest("GET", "/c"),
+	})
+	if !errors.Is(err, wireerr.ErrRequestTimeout) {
+		t.Fatalf("got %v, want ErrRequestTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("batch outlived its context by %v", elapsed)
 	}
 }

@@ -2,6 +2,7 @@ package httpwire
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -191,6 +192,98 @@ func readBody(br *bufio.Reader, h Header, allowEOF bool) (body []byte, trailer H
 	}
 	body, err = io.ReadAll(io.LimitReader(br, maxBodyBytes))
 	return body, nil, err
+}
+
+// requestBuffered reports whether br's buffer already holds at least one
+// complete request — the head through the blank line plus any declared
+// body — so a serve loop can parse it without blocking on the socket and
+// answer a pipelined burst with one read/write pair. The sniff is
+// conservative: a false negative only costs a coalescing opportunity,
+// while a false positive would stall the connection parsing a half-arrived
+// request behind queued responses, so chunked request bodies and bare-LF
+// heads never report buffered.
+func requestBuffered(br *bufio.Reader) bool {
+	n := br.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := br.Peek(n)
+	if err != nil {
+		return false
+	}
+	i := bytes.Index(buf, []byte("\r\n\r\n"))
+	if i < 0 {
+		return false
+	}
+	cl, ok := sniffContentLength(buf[:i+2])
+	if !ok {
+		return false
+	}
+	return int64(len(buf)-(i+4)) >= cl
+}
+
+// sniffContentLength scans a raw request head for body framing without a
+// full parse: the declared Content-Length (0 when absent — unframed
+// requests carry no body, matching readBody), or ok=false when the framing
+// is chunked or unparsable.
+func sniffContentLength(head []byte) (cl int64, ok bool) {
+	for len(head) > 0 {
+		var line []byte
+		if j := bytes.IndexByte(head, '\n'); j >= 0 {
+			line, head = head[:j], head[j+1:]
+		} else {
+			line, head = head, nil
+		}
+		k := bytes.IndexByte(line, ':')
+		if k < 0 {
+			continue
+		}
+		key := line[:k]
+		if asciiEqualFold(key, "Transfer-Encoding") {
+			return 0, false
+		}
+		if !asciiEqualFold(key, "Content-Length") {
+			continue
+		}
+		v := bytes.Trim(line[k+1:], " \t\r")
+		if len(v) == 0 {
+			return 0, false
+		}
+		cl = 0
+		for _, c := range v {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			cl = cl*10 + int64(c-'0')
+			if cl > maxBodyBytes {
+				return 0, false
+			}
+		}
+		// Keep scanning: a later Transfer-Encoding overrides the
+		// Content-Length framing (readBody checks chunked first).
+	}
+	return cl, true
+}
+
+// asciiEqualFold reports ASCII case-insensitive equality of b and s
+// without allocating.
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c, d := b[i], s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if 'A' <= d && d <= 'Z' {
+			d += 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
 }
 
 // readChunked consumes a chunked body and its trailer section.

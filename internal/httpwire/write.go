@@ -3,106 +3,27 @@ package httpwire
 import (
 	"bufio"
 	"sort"
-	"strconv"
 )
 
-// The serializers below avoid fmt and per-message map clones: profiles of
-// the 64-worker loadtest showed the per-header-line fmt.Fprintf boxing and
-// the Header.Clone needed to inject framing fields dominating hot-path
+// The serializers avoid fmt and per-message map clones: profiles of the
+// 64-worker loadtest showed per-header-line fmt.Fprintf boxing and the
+// Header.Clone needed to inject framing fields dominating hot-path
 // allocation. Framing fields (Content-Length, Transfer-Encoding, Trailer)
-// are instead merged into the sorted key walk as "extras", and the sorted
-// key slice itself comes from a pool.
-
-// writeInt writes n in the given base without allocating: the digits are
-// appended into the writer's own spare buffer capacity.
-func writeInt(bw *bufio.Writer, n int64, base int) error {
-	_, err := bw.Write(strconv.AppendInt(bw.AvailableBuffer(), n, base))
-	return err
-}
-
-func writeField(bw *bufio.Writer, k, v string) error {
-	if _, err := bw.WriteString(k); err != nil {
-		return err
-	}
-	if _, err := bw.WriteString(": "); err != nil {
-		return err
-	}
-	if _, err := bw.WriteString(v); err != nil {
-		return err
-	}
-	_, err := bw.WriteString("\r\n")
-	return err
-}
-
-// writeHeader emits header fields in sorted order (deterministic wire
-// output simplifies testing and debugging).
-func writeHeader(bw *bufio.Writer, h Header) error {
-	return writeHeaderX(bw, h, "", "", "", "", "")
-}
-
-// writeHeaderX emits h's fields plus up to two extra fields (x1, x2 — empty
-// key means absent) in one sorted walk, omitting skip. An extra overrides a
-// same-named field in h. Extras are how the serializers inject framing
-// fields without cloning the caller's header map.
-func writeHeaderX(bw *bufio.Writer, h Header, skip, x1k, x1v, x2k, x2v string) error {
-	scratch := getKeyScratch()
-	defer putKeyScratch(scratch)
-	keys := *scratch
-	for k := range h {
-		if k == skip || k == x1k || k == x2k {
-			continue
-		}
-		keys = append(keys, k)
-	}
-	if x1k != "" {
-		keys = append(keys, x1k)
-	}
-	if x2k != "" {
-		keys = append(keys, x2k)
-	}
-	sort.Strings(keys)
-	*scratch = keys // keep any growth for the pool
-	for _, k := range keys {
-		v := h[k]
-		switch k {
-		case x1k:
-			v = x1v
-		case x2k:
-			v = x2v
-		}
-		if err := writeField(bw, k, v); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// are merged into the sorted key walk as "extras", and the sorted key
+// slice itself comes from a pool. Since the writev rework the single
+// source of serialization truth is the segment builders in writev.go
+// (appendRequest/appendResponse); the bufio entry points below feed the
+// same segments through a buffered writer for callers that hold one.
 
 // WriteRequest serializes req to bw and flushes. Requests with a body are
 // framed with Content-Length.
 func WriteRequest(bw *bufio.Writer, req *Request) error {
-	proto := req.Proto
-	if proto == "" {
-		proto = "HTTP/1.1"
-	}
-	for _, s := range []string{req.Method, " ", req.Path, " ", proto, "\r\n"} {
-		if _, err := bw.WriteString(s); err != nil {
-			return err
-		}
-	}
-	var clk, clv string
-	if len(req.Body) > 0 || req.Method == "POST" || req.Method == "PUT" {
-		clk, clv = "Content-Length", strconv.Itoa(len(req.Body))
-	}
-	if err := writeHeaderX(bw, req.Header, "", clk, clv, "", ""); err != nil {
+	v := getVec()
+	v.appendRequest(req)
+	err := v.writeTo(bw)
+	putVec(v)
+	if err != nil {
 		return err
-	}
-	if _, err := bw.WriteString("\r\n"); err != nil {
-		return err
-	}
-	if len(req.Body) > 0 {
-		if _, err := bw.Write(req.Body); err != nil {
-			return err
-		}
 	}
 	return bw.Flush()
 }
@@ -148,86 +69,12 @@ func trailerNames(t Header) string {
 // noBody suppresses body bytes (HEAD responses) while keeping the framing
 // headers.
 func WriteResponse(bw *bufio.Writer, resp *Response, noBody bool) error {
-	proto := resp.Proto
-	if proto == "" {
-		proto = "HTTP/1.1"
-	}
-	reason := resp.Reason
-	if reason == "" {
-		reason = StatusText(resp.Status)
-	}
-	if _, err := bw.WriteString(proto); err != nil {
-		return err
-	}
-	if err := bw.WriteByte(' '); err != nil {
-		return err
-	}
-	if err := writeInt(bw, int64(resp.Status), 10); err != nil {
-		return err
-	}
-	if err := bw.WriteByte(' '); err != nil {
-		return err
-	}
-	if _, err := bw.WriteString(reason); err != nil {
-		return err
-	}
-	if _, err := bw.WriteString("\r\n"); err != nil {
-		return err
-	}
-
-	chunked := len(resp.Trailer) > 0
-	var err error
-	switch {
-	case chunked:
-		// §2.3: "The server must include a Trailer header field
-		// indicating the later appearance of the P-volume response
-		// header field."
-		err = writeHeaderX(bw, resp.Header, "Content-Length",
-			"Trailer", trailerNames(resp.Trailer),
-			"Transfer-Encoding", "chunked")
-	case resp.Status != 304:
-		err = writeHeaderX(bw, resp.Header, "",
-			"Content-Length", strconv.Itoa(len(resp.Body)), "", "")
-	default:
-		err = writeHeader(bw, resp.Header)
-	}
+	v := getVec()
+	v.appendResponse(resp, noBody)
+	err := v.writeTo(bw)
+	putVec(v)
 	if err != nil {
 		return err
-	}
-	if _, err := bw.WriteString("\r\n"); err != nil {
-		return err
-	}
-
-	switch {
-	case chunked:
-		if !noBody && len(resp.Body) > 0 {
-			if err := writeInt(bw, int64(len(resp.Body)), 16); err != nil {
-				return err
-			}
-			if _, err := bw.WriteString("\r\n"); err != nil {
-				return err
-			}
-			if _, err := bw.Write(resp.Body); err != nil {
-				return err
-			}
-			if _, err := bw.WriteString("\r\n"); err != nil {
-				return err
-			}
-		}
-		// Mandatory zero-length chunk, then the trailer section.
-		if _, err := bw.WriteString("0\r\n"); err != nil {
-			return err
-		}
-		if err := writeHeader(bw, resp.Trailer); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString("\r\n"); err != nil {
-			return err
-		}
-	case !noBody && resp.Status != 304 && len(resp.Body) > 0:
-		if _, err := bw.Write(resp.Body); err != nil {
-			return err
-		}
 	}
 	return bw.Flush()
 }

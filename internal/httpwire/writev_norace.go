@@ -1,0 +1,6 @@
+//go:build !race
+
+package httpwire
+
+// raceEnabled selects the writev fast path. See writev_race.go.
+const raceEnabled = false

@@ -1,0 +1,13 @@
+//go:build race
+
+package httpwire
+
+// raceEnabled disables the net.Buffers writev fast path under the race
+// detector. syscall.Write carries a race-release annotation (ioSync) that
+// makes socket byte order visible to the detector as a happens-before
+// edge; the writev syscall used by net.Buffers.WriteTo has no such
+// annotation, so vectored writes would surface false "unsynchronized"
+// races between a handler goroutine and the peer that read its response.
+// Race builds take the sequential per-segment Write loop instead — same
+// bytes, annotated syscalls.
+const raceEnabled = true

@@ -92,6 +92,16 @@ func SizeBuckets() []int64 {
 	return b
 }
 
+// BatchBuckets returns bounds suited to small coalesced-batch sizes
+// (messages per syscall): 1 up to 64, doubling each bucket.
+func BatchBuckets() []int64 {
+	var b []int64
+	for v := int64(1); v <= 64; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
@@ -463,6 +473,14 @@ type WireMetrics struct {
 	PoolWaits  *Counter // acquisitions that blocked on the per-host bound
 	IdleClosed *Counter // idle connections reaped past IdleConnTimeout
 
+	// Syscall-budget counters (prefix.syscalls.*): WriteOps counts write
+	// syscalls issued (one per writev batch), ReadOps counts read syscalls
+	// (one per bufio fill), and WriteBatch is the distribution of messages
+	// coalesced per write. writes/op = syscalls.writes ÷ requests.
+	WriteOps   *Counter
+	ReadOps    *Counter
+	WriteBatch *Histogram
+
 	// Per-class failure counters, one per wireerr taxonomy class
 	// (prefix.err.dial_timeout and peers). Errors above stays the total.
 	ErrDialTimeout    *Counter
@@ -502,8 +520,9 @@ func (m *WireMetrics) CountErrClass(class string) {
 // in r: prefix.requests, prefix.errors, prefix.retries, prefix.dials,
 // prefix.bytes_in, prefix.bytes_out, prefix.latency_us, the pool gauges
 // prefix.conns_open, prefix.conns_idle, prefix.pool_waits, and
-// prefix.idle_closed, plus per-class failure counters
-// prefix.err.{dial_timeout,request_timeout,canceled,circuit_open,
+// prefix.idle_closed, the syscall-budget metrics prefix.syscalls.writes,
+// prefix.syscalls.reads, and prefix.syscalls.batch, plus per-class failure
+// counters prefix.err.{dial_timeout,request_timeout,canceled,circuit_open,
 // truncated,other}.
 func NewWireMetrics(r *Registry, prefix string) *WireMetrics {
 	return &WireMetrics{
@@ -518,6 +537,9 @@ func NewWireMetrics(r *Registry, prefix string) *WireMetrics {
 		ConnsIdle:         r.Counter(prefix + ".conns_idle"),
 		PoolWaits:         r.Counter(prefix + ".pool_waits"),
 		IdleClosed:        r.Counter(prefix + ".idle_closed"),
+		WriteOps:          r.Counter(prefix + ".syscalls.writes"),
+		ReadOps:           r.Counter(prefix + ".syscalls.reads"),
+		WriteBatch:        r.Histogram(prefix+".syscalls.batch", BatchBuckets()),
 		ErrDialTimeout:    r.Counter(prefix + ".err.dial_timeout"),
 		ErrRequestTimeout: r.Counter(prefix + ".err.request_timeout"),
 		ErrCanceled:       r.Counter(prefix + ".err.canceled"),
