@@ -309,7 +309,7 @@ func BenchmarkE2EProxyServer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		url := fmt.Sprintf("http://www.bench.test/a/r%02d.html", i%20)
-		if _, err := client.Do(pl.Addr().String(), httpwire.NewRequest("GET", url)); err != nil {
+		if _, err := client.DoContext(context.Background(), pl.Addr().String(), httpwire.NewRequest("GET", url)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -357,7 +357,7 @@ func BenchmarkLoadgenE2E(b *testing.B) {
 	b.ResetTimer()
 	var rps, p99 float64
 	for i := 0; i < b.N; i++ {
-		rep, err := loadgen.Run(loadgen.Config{
+		rep, err := loadgen.RunContext(context.Background(), loadgen.Config{
 			Addr:     pl.Addr().String(),
 			Records:  log,
 			Mode:     loadgen.Closed,
@@ -660,7 +660,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.DoAll(addr, reqs); err != nil {
+		if _, err := client.DoAllContext(context.Background(), addr, reqs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -762,14 +762,14 @@ func BenchmarkWireFreshHit(b *testing.B) {
 	client := httpwire.NewClient()
 	defer client.Close()
 	req := httpwire.NewRequest("GET", "http://www.bench.test/a/x.html")
-	if resp, err := client.Do(pl.Addr().String(), req); err != nil || resp.Status != 200 {
+	if resp, err := client.DoContext(context.Background(), pl.Addr().String(), req); err != nil || resp.Status != 200 {
 		b.Fatalf("prime: %v (status %v)", err, resp)
 	}
 
 	reqs0, writes0, reads0 := wm.Requests.Load(), wm.WriteOps.Load(), wm.ReadOps.Load()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := client.Do(pl.Addr().String(), req)
+		resp, err := client.DoContext(context.Background(), pl.Addr().String(), req)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -55,6 +55,8 @@ import (
 	"strings"
 	"time"
 
+	"piggyback/internal/cache"
+	"piggyback/internal/cache/tiered"
 	"piggyback/internal/center"
 	"piggyback/internal/core"
 	"piggyback/internal/faultconn"
@@ -100,6 +102,10 @@ type options struct {
 	cacheMB  int64
 	hotKey   float64
 	killPeer bool
+
+	disk    bool
+	diskCap int64
+	restart []bool
 
 	cpuprofile string
 	memprofile string
@@ -151,6 +157,19 @@ type scenario struct {
 	PeerServes       int64 `json:"peer_serves"`
 	PeerFallbacks    int64 `json:"peer_fallbacks"`
 	PeerPropagations int64 `json:"peer_propagations"`
+	// Disk-tier telemetry (fleet-merged across proxy generations when the
+	// scenario restarts): with -disk, RAM evictions demoted to segment
+	// files, disk lookups served and promoted back to RAM, and the
+	// closing disk footprint. Restart marks scenarios whose fleet was
+	// killed and relaunched mid-run; with -disk the relaunch reopens the
+	// same directories, so origin fetches stay near the no-restart run —
+	// CI compares this row's OriginRequests against the diskless restart.
+	Disk           bool  `json:"disk,omitempty"`
+	Restart        bool  `json:"restart,omitempty"`
+	TierDemotions  int64 `json:"tier_demotions,omitempty"`
+	TierPromotions int64 `json:"tier_promotions,omitempty"`
+	TierDiskHits   int64 `json:"tier_disk_hits,omitempty"`
+	TierDiskBytes  int64 `json:"tier_disk_bytes,omitempty"`
 }
 
 // benchOutput is the BENCH_loadtest.json schema.
@@ -198,11 +217,12 @@ func main() {
 		Center:    opt.center,
 	}
 	tbl := &metrics.Table{Header: []string{
-		"scenario", "piggy", "workers", "proxies", "peer", "fault", "reqs", "errs", "rps",
+		"scenario", "piggy", "workers", "proxies", "peer", "fault", "restart", "reqs", "errs", "rps",
 		"p50ms", "p90ms", "p99ms", "maxms", "hit%", "peerhit%", "proxyhit%",
 		"piggybacks", "elems", "origin", "dials", "poolwaits", "upconns",
 		"wr/op", "rd/op",
 		"stale", "bropen", "uperr", "pfwd", "pfall", "prop",
+		"demote", "promote", "dhit",
 	}}
 	for _, fault := range opt.faults {
 		for _, piggy := range opt.piggyback {
@@ -214,24 +234,28 @@ func main() {
 					peerAxis = opt.peering[:1]
 				}
 				for _, peering := range peerAxis {
-					for _, workers := range opt.workers {
-						sc := runScenario(opt, workload, site, cell{
-							piggy: piggy, workers: workers, fault: fault,
-							proxies: nproxies, peering: peering,
-						})
-						out.Scenarios = append(out.Scenarios, sc)
-						r := sc.Report
-						tbl.AddRow(sc.Name, onOff(piggy), workers, sc.Proxies, onOff(sc.Peering),
-							fault, r.Requests, r.Errors,
-							r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
-							ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio),
-							metrics.Pct(r.PeerHitRatio), pctOrDash(r.ProxyHitRatio),
-							sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
-							sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns,
-							fmt.Sprintf("%.2f", sc.ServerWritesPerOp),
-							fmt.Sprintf("%.2f", sc.ServerReadsPerOp),
-							sc.StaleServes, sc.BreakerOpens, sc.UpstreamErrs,
-							sc.PeerForwards, sc.PeerFallbacks, sc.PeerPropagations)
+					for _, restart := range opt.restart {
+						for _, workers := range opt.workers {
+							sc := runScenario(opt, workload, site, cell{
+								piggy: piggy, workers: workers, fault: fault,
+								proxies: nproxies, peering: peering,
+								restart: restart,
+							})
+							out.Scenarios = append(out.Scenarios, sc)
+							r := sc.Report
+							tbl.AddRow(sc.Name, onOff(piggy), workers, sc.Proxies, onOff(sc.Peering),
+								fault, onOff(sc.Restart), r.Requests, r.Errors,
+								r.ThroughputRPS, ms(r.P50us), ms(r.P90us), ms(r.P99us),
+								ms(float64(r.MaxUs)), metrics.Pct(r.HitRatio),
+								metrics.Pct(r.PeerHitRatio), pctOrDash(r.ProxyHitRatio),
+								sc.ProxyPiggybacks, sc.ProxyElements, sc.OriginRequests,
+								sc.UpstreamDials, sc.PoolWaits, sc.UpstreamConns,
+								fmt.Sprintf("%.2f", sc.ServerWritesPerOp),
+								fmt.Sprintf("%.2f", sc.ServerReadsPerOp),
+								sc.StaleServes, sc.BreakerOpens, sc.UpstreamErrs,
+								sc.PeerForwards, sc.PeerFallbacks, sc.PeerPropagations,
+								sc.TierDemotions, sc.TierPromotions, sc.TierDiskHits)
+						}
 					}
 				}
 			}
@@ -307,6 +331,12 @@ func parseFlags() options {
 		"hot-key skew: fraction of requests redirected to one popular URL (e.g. 0.3)")
 	flag.BoolVar(&opt.killPeer, "killpeer", false,
 		"kill the last fleet member once half the requests have completed (requires -proxies > 1)")
+	var restart string
+	flag.BoolVar(&opt.disk, "disk", false,
+		"give each proxy a disk cache tier (temp directory, removed after the run)")
+	flag.Int64Var(&opt.diskCap, "disk-cap", 256<<20, "disk tier capacity in bytes per proxy")
+	flag.StringVar(&restart, "restart", "off",
+		"restart axis: off, on, or on,off — on kills and relaunches the fleet once half the requests have completed (with -disk the relaunch reopens the same directories and serves warm)")
 	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.StringVar(&opt.memprofile, "memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
@@ -337,6 +367,16 @@ func parseFlags() options {
 	}
 	if opt.hotKey < 0 || opt.hotKey >= 1 {
 		log.Fatalf("loadtest: -hotkey %g must be in [0, 1)", opt.hotKey)
+	}
+	for _, r := range strings.Split(restart, ",") {
+		switch strings.TrimSpace(r) {
+		case "on":
+			opt.restart = append(opt.restart, true)
+		case "off":
+			opt.restart = append(opt.restart, false)
+		default:
+			log.Fatalf("loadtest: bad -restart element %q", r)
+		}
 	}
 	for _, p := range strings.Split(piggy, ",") {
 		switch strings.TrimSpace(p) {
@@ -413,6 +453,32 @@ type cell struct {
 	proxies int
 	peering bool
 	fault   string
+	restart bool
+}
+
+// fleet is one generation of proxies: a restart scenario tears one down
+// mid-run and launches a successor over the same disk directories.
+type fleet struct {
+	pls   []net.Listener
+	addrs []string
+	pxs   []*proxy.Proxy
+	psrvs []*httpwire.Server
+}
+
+// close tears the generation down — servers first so no request races the
+// proxy Close, then the proxies themselves (a disk-tiered proxy flushes
+// its RAM working set and snapshots its index here, exactly like a real
+// process handling SIGTERM).
+func (f *fleet) close() {
+	for _, s := range f.psrvs {
+		s.Close()
+	}
+	for _, l := range f.pls {
+		l.Close()
+	}
+	for _, p := range f.pxs {
+		p.Close()
+	}
 }
 
 // runScenario stands up a fresh stack and drives one load run through it.
@@ -486,44 +552,77 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, c cell) s
 	// aggregate -cachemb capacity so fleet sizes compare at constant total
 	// cache. With peering on, every member advertises its own listener
 	// address and the full member list; with peering off the members are
-	// independent caches (the "N separate proxies" baseline).
+	// independent caches (the "N separate proxies" baseline). With -disk,
+	// each member slot gets a persistent temp directory for its disk
+	// tier; a restart relaunches the fleet over the same directories, so
+	// the successor generation serves the predecessor's working set warm.
 	nproxies := c.proxies
 	if nproxies <= 0 {
 		nproxies = 1
 	}
-	pls := make([]net.Listener, nproxies)
-	addrs := make([]string, nproxies)
-	for i := range pls {
-		pls[i] = listen()
-		addrs[i] = pls[i].Addr().String()
-	}
-	pxs := make([]*proxy.Proxy, nproxies)
-	psrvs := make([]*httpwire.Server, nproxies)
-	for i := range pxs {
-		pcfg := proxy.Config{
-			CacheBytes: opt.cacheMB << 20 / int64(nproxies),
-			Delta:      opt.delta, Clock: clock,
-			Resolve:         func(string) (string, error) { return upstream, nil },
-			BaseFilter:      filter,
-			Prefetch:        opt.prefetch,
-			UpstreamTimeout: opt.upTimeout,
-			MaxStaleOnError: opt.maxStale,
-			BreakerFailures: opt.breakerFailures,
-			BreakerBackoff:  opt.breakerBackoff,
-			BreakerDisabled: opt.breakerOff,
-			BreakerSeed:     opt.faultSeed,
+	diskDirs := make([]string, nproxies)
+	if opt.disk {
+		for i := range diskDirs {
+			d, err := os.MkdirTemp("", "loadtest-tier-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			diskDirs[i] = d
+			defer os.RemoveAll(d)
 		}
-		if c.peering && nproxies > 1 {
-			pcfg.PeerSelf = addrs[i]
-			pcfg.Peers = addrs
-		}
-		pxs[i] = proxy.New(pcfg)
-		defer pxs[i].Close()
-		psrvs[i] = &httpwire.Server{Handler: pxs[i],
-			Obs: obs.NewWireMetrics(pxs[i].Obs(), "wire.server")}
-		go psrvs[i].Serve(pls[i])
-		defer psrvs[i].Close()
 	}
+	// Tier counters live in the store's process memory, so a restart
+	// scenario must bank the first generation's numbers before closing it.
+	var tierBanked cache.StoreStats
+	launchFleet := func() *fleet {
+		f := &fleet{
+			pls:   make([]net.Listener, nproxies),
+			addrs: make([]string, nproxies),
+			pxs:   make([]*proxy.Proxy, nproxies),
+			psrvs: make([]*httpwire.Server, nproxies),
+		}
+		for i := range f.pls {
+			f.pls[i] = listen()
+			f.addrs[i] = f.pls[i].Addr().String()
+		}
+		for i := range f.pxs {
+			pcfg := proxy.Config{
+				CacheBytes: opt.cacheMB << 20 / int64(nproxies),
+				Delta:      opt.delta, Clock: clock,
+				Resolve:         func(string) (string, error) { return upstream, nil },
+				BaseFilter:      filter,
+				Prefetch:        opt.prefetch,
+				UpstreamTimeout: opt.upTimeout,
+				MaxStaleOnError: opt.maxStale,
+				BreakerFailures: opt.breakerFailures,
+				BreakerBackoff:  opt.breakerBackoff,
+				BreakerDisabled: opt.breakerOff,
+				BreakerSeed:     opt.faultSeed,
+			}
+			if opt.disk {
+				ram := cache.NewSharded(pcfg.CacheBytes, 0, cache.PolicyFactory(cache.PiggybackLRU{}))
+				ts, err := tiered.New(ram, tiered.Config{
+					Dir: diskDirs[i], DiskBytes: opt.diskCap / int64(nproxies),
+				})
+				if err != nil {
+					log.Fatalf("loadtest: disk tier: %v", err)
+				}
+				pcfg.Store = ts
+			}
+			if c.peering && nproxies > 1 {
+				pcfg.PeerSelf = f.addrs[i]
+				pcfg.Peers = f.addrs
+			}
+			f.pxs[i] = proxy.New(pcfg)
+			f.psrvs[i] = &httpwire.Server{Handler: f.pxs[i],
+				Obs: obs.NewWireMetrics(f.pxs[i].Obs(), "wire.server")}
+			go f.psrvs[i].Serve(f.pls[i])
+		}
+		return f
+	}
+	cur := launchFleet()
+	defer func() { cur.close() }()
+	pxs, psrvs, pls, addrs := cur.pxs, cur.psrvs, cur.pls, cur.addrs
 
 	// With -killpeer, clients drive every member except the victim (the
 	// last one), which participates only as a ring owner; once half the
@@ -574,29 +673,72 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, c cell) s
 	if fault != "none" {
 		name += "/fault=" + fault
 	}
+	if opt.disk {
+		name += "/disk"
+	}
+	if c.restart {
+		name += "/restart"
+	}
+	if c.restart && killPeer {
+		log.Fatalf("loadtest: -restart and -killpeer are mutually exclusive")
+	}
 	fmt.Printf("running %-48s ... ", name)
-	rep, err := loadgen.RunContext(context.Background(), loadgen.Config{
-		Addrs:      targetAddrs,
-		Records:    workload,
-		Host:       host,
-		Mode:       mode,
-		Workers:    workers,
-		Think:      opt.think,
-		Rate:       opt.rate,
-		Requests:   opt.requests,
-		Warmup:     opt.warmup,
-		Seed:       opt.seed,
-		StatsAddrs: targetAddrs,
-	})
-	if err != nil {
-		log.Fatalf("loadtest: scenario %s: %v", name, err)
+	runHalf := func(requests, warmup int) *loadgen.Report {
+		rep, err := loadgen.RunContext(context.Background(), loadgen.Config{
+			Addrs:      targetAddrs,
+			Records:    workload,
+			Host:       host,
+			Mode:       mode,
+			Workers:    workers,
+			Think:      opt.think,
+			Rate:       opt.rate,
+			Requests:   requests,
+			Warmup:     warmup,
+			Seed:       opt.seed,
+			StatsAddrs: targetAddrs,
+		})
+		if err != nil {
+			log.Fatalf("loadtest: scenario %s: %v", name, err)
+		}
+		return rep
+	}
+	var rep *loadgen.Report
+	if c.restart {
+		// First half populates the fleet, then the whole fleet is killed
+		// and relaunched (with -disk, over the same directories). The
+		// reported latency/throughput is the post-restart half — the run
+		// that shows whether the restart was warm; requests and errors
+		// are summed so the row covers the whole scenario.
+		firstHalf := runHalf(opt.requests/2, opt.warmup)
+		for _, p := range pxs {
+			tierBanked = addTier(tierBanked, p.CacheStats())
+		}
+		cur.close()
+		cur = launchFleet()
+		pxs, psrvs, pls, addrs = cur.pxs, cur.psrvs, cur.pls, cur.addrs
+		_, _ = psrvs, pls
+		targetAddrs = addrs
+		rep = runHalf(opt.requests-opt.requests/2, 0)
+		rep.Requests += firstHalf.Requests
+		rep.Errors += firstHalf.Errors
+	} else {
+		rep = runHalf(opt.requests, opt.warmup)
 	}
 	fmt.Printf("%6.0f req/s, p99 %s\n", rep.ThroughputRPS, ms(rep.P99us))
 
 	sc := scenario{Name: name, Piggyback: piggy, Workers: workers, Fault: fault,
 		Proxies: nproxies, Peering: c.peering && nproxies > 1,
 		HotKey: opt.hotKey, KillPeer: killPeer,
+		Disk: opt.disk, Restart: c.restart,
 		Report: rep, OriginRequests: int64(origin.Stats().Requests)}
+	tier := tierBanked
+	for _, p := range pxs {
+		tier = addTier(tier, p.CacheStats())
+	}
+	sc.TierDemotions = tier.Demotions
+	sc.TierPromotions = tier.Promotions
+	sc.TierDiskHits = tier.DiskHits
+	sc.TierDiskBytes = tier.DiskBytes
 	if d := rep.StatsDelta; d != nil {
 		sc.ProxyPiggybacks = d.Counter("proxy.piggybacks_received")
 		sc.ProxyElements = d.Counter("proxy.piggyback_elements")
@@ -631,6 +773,18 @@ func runScenario(opt options, workload trace.Log, site *tracegen.Site, c cell) s
 		sc.UpstreamConns += p.Obs().Snapshot().Counter("wire.upstream.conns_open")
 	}
 	return sc
+}
+
+// addTier accumulates the tier-side counters across fleet members and
+// proxy generations (the per-lookup hit/miss fields are left alone: the
+// report's proxy hit ratio already covers those).
+func addTier(a, b cache.StoreStats) cache.StoreStats {
+	a.Demotions += b.Demotions
+	a.Promotions += b.Promotions
+	a.DiskHits += b.DiskHits
+	a.DiskBytes += b.DiskBytes
+	a.Compactions += b.Compactions
+	return a
 }
 
 func listen() net.Listener {

@@ -23,9 +23,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +56,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated fleet member addresses for the cooperative mesh (empty disables)")
 	peerID := flag.String("peer-id", "", "this proxy's advertised peer address (default: -addr)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "peer exchange timeout (0: 5s)")
+	diskDir := flag.String("disk-dir", "", "directory for the disk cache tier (empty: RAM only); reopening the same directory restarts warm")
+	diskCap := flag.Int64("disk-cap", 256<<20, "disk tier capacity in bytes")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on "+piggyback.PprofPathPrefix)
 	flag.Parse()
 	piggyback.EnablePprof(*pprofOn)
@@ -72,7 +76,32 @@ func main() {
 		}
 	}
 
+	// Exit status is deferred behind the proxy's own deferred Close so a
+	// serve failure still flushes the disk tier before the process ends.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+
+	// With -disk-dir, serve from a tiered store: the RAM tier demotes
+	// eviction-worthy entries to segment files there, and the proxy's
+	// Close (on SIGTERM) snapshots the index so the next run serves warm.
+	var store piggyback.CacheStore
+	if *diskDir != "" {
+		ram := piggyback.NewShardedCache(*cacheBytes, *shards, nil)
+		ts, err := piggyback.NewTieredCache(ram, piggyback.TieredCacheConfig{
+			Dir: *diskDir, DiskBytes: *diskCap,
+		})
+		if err != nil {
+			log.Fatalf("piggyproxy: disk tier: %v", err)
+		}
+		store = ts
+	}
+
 	px := piggyback.NewProxy(piggyback.ProxyConfig{
+		Store:             store,
 		CacheBytes:        *cacheBytes,
 		CacheShards:       *shards,
 		Delta:             *delta,
@@ -139,7 +168,12 @@ func main() {
 	if ring := px.PeerRing(); ring != nil {
 		fmt.Printf("piggyproxy: cooperative mesh of %d peers as %s\n", ring.Size(), self)
 	}
-	if err := srv.ListenAndServe(*addr); err != nil {
-		log.Fatal(err)
+	// A clean shutdown surfaces as net.ErrClosed from the accept loop;
+	// anything else is a real failure. Either way fall through to the
+	// deferred px.Close() so the disk tier flushes and snapshots — a
+	// log.Fatal here would skip it and cost the next run its warm start.
+	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Printf("piggyproxy: serve: %v", err)
+		exitCode = 1
 	}
 }

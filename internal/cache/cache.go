@@ -7,6 +7,8 @@ package cache
 
 import (
 	"container/heap"
+
+	"piggyback/internal/obs"
 )
 
 // Entry is one cached resource.
@@ -69,6 +71,11 @@ func (e *Entry) PinnedUntil() int64 { return e.pinnedUntil }
 // HintCount returns how many piggyback messages have named this entry.
 func (e *Entry) HintCount() int { return e.hintCount }
 
+// Priority returns the policy-assigned eviction priority as of the last
+// recomputation (insert, hit, pin). Custom demotion gates on a tiered
+// store can read it to rank eviction victims.
+func (e *Entry) Priority() float64 { return e.priority }
+
 // Policy assigns eviction priorities. The cache evicts the entry with the
 // lowest priority. Priorities are recomputed on insert, hit, and pin — the
 // event-driven discipline GD-Size is defined by.
@@ -90,6 +97,12 @@ type Cache struct {
 	entries  map[string]*Entry
 	h        entryHeap
 	policy   Policy
+
+	// evictObserver, when set, sees every entry evicted for capacity
+	// (not explicit deletes or invalidations) before it is dropped — the
+	// demotion hook a tiered store hangs eviction on. The entry must be
+	// treated as read-only and not retained; copy what is needed.
+	evictObserver func(e *Entry, now int64)
 
 	// Stats.
 	Hits, Misses, Evictions int
@@ -182,23 +195,32 @@ func (c *Cache) makeRoom(now int64, keep *Entry) (evicted []string) {
 			}
 			next := heap.Pop(&c.h).(*Entry)
 			heap.Push(&c.h, victim)
-			c.evict(next)
+			c.evict(next, now)
 			evicted = append(evicted, next.URL)
 			continue
 		}
 		heap.Pop(&c.h)
-		c.evict(victim)
+		c.evict(victim, now)
 		evicted = append(evicted, victim.URL)
 	}
 	return evicted
 }
 
-func (c *Cache) evict(e *Entry) {
+func (c *Cache) evict(e *Entry, now int64) {
 	delete(c.entries, e.URL)
 	c.used -= e.Size
 	c.Evictions++
 	c.policy.OnEvict(e)
+	if c.evictObserver != nil {
+		c.evictObserver(e, now)
+	}
 }
+
+// SetEvictObserver installs fn to observe capacity evictions (nil
+// removes it). fn runs inside the eviction path — under the shard lock
+// when the Cache is a Sharded shard — so it must be fast and must not
+// call back into the cache.
+func (c *Cache) SetEvictObserver(fn func(e *Entry, now int64)) { c.evictObserver = fn }
 
 // Delete removes url, returning whether it was present.
 func (c *Cache) Delete(url string) bool {
@@ -277,6 +299,77 @@ func (c *Cache) URLs() []string {
 	}
 	return out
 }
+
+// --- Store conformance -------------------------------------------------
+//
+// The plain Cache satisfies Store so differential tests (and simulators
+// that want the interface) can drive it interchangeably with Sharded and
+// tiered.Tiered. Lookup/ApplyPiggyback mirror Sharded's semantics exactly;
+// they are the single-threaded reference implementations.
+
+// Lookup returns the entry's servable state, counting a hit or miss,
+// updating replacement recency, and clearing the prefetch mark.
+func (c *Cache) Lookup(url string, now int64) (View, bool) {
+	e, ok := c.Get(url, now)
+	if !ok {
+		return View{}, false
+	}
+	v := viewOf(e)
+	if e.Prefetched {
+		e.Prefetched = false
+		v.WasPrefetched = true
+	}
+	return v, true
+}
+
+// PeekView returns the entry's state without side effects. (Peek returns
+// the live *Entry for the simulators; PeekView is the Store form.)
+func (c *Cache) PeekView(url string) (View, bool) {
+	e, ok := c.Peek(url)
+	if !ok {
+		return View{}, false
+	}
+	return viewOf(e), true
+}
+
+// Contains reports whether url is cached.
+func (c *Cache) Contains(url string) bool {
+	_, ok := c.entries[url]
+	return ok
+}
+
+// ApplyPiggyback applies one piggyback element (§4 cache coherency and
+// replacement): invalidate an outdated copy, or freshen and hint a
+// current one.
+func (c *Cache) ApplyPiggyback(url string, lastModified, freshenTo, pinUntil, now int64) PiggybackOutcome {
+	e, ok := c.Peek(url)
+	if !ok {
+		return PiggybackMiss
+	}
+	if lastModified > e.LastModified {
+		c.Delete(url)
+		return PiggybackInvalidated
+	}
+	c.Freshen(url, freshenTo)
+	c.Hint(url, pinUntil, now)
+	return PiggybackRefreshed
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() StoreStats {
+	return StoreStats{
+		Hits:      int64(c.Hits),
+		Misses:    int64(c.Misses),
+		Evictions: int64(c.Evictions),
+	}
+}
+
+// Instrument is a no-op: the plain Cache is the single-threaded building
+// block; telemetry lives on the concurrent stores wrapping it.
+func (c *Cache) Instrument(reg *obs.Registry, prefix string) {}
+
+// Close is a no-op; the plain Cache holds no external resources.
+func (c *Cache) Close() error { return nil }
 
 // entryHeap is a min-heap on Entry.priority.
 type entryHeap []*Entry

@@ -197,6 +197,9 @@ func viewOf(e *Entry) View {
 	}
 }
 
+// PeekView is Peek under its Store name.
+func (s *Sharded) PeekView(url string) (View, bool) { return s.Peek(url) }
+
 // Contains reports whether url is cached.
 func (s *Sharded) Contains(url string) bool {
 	sh := s.shard(url)
@@ -371,6 +374,48 @@ func (s *Sharded) HitRate() float64 {
 		return 0
 	}
 	return float64(h) / float64(h+m)
+}
+
+// Stats returns the aggregate lookup and eviction counters.
+func (s *Sharded) Stats() StoreStats {
+	return StoreStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// Close is a no-op; the RAM tier holds no external resources.
+func (s *Sharded) Close() error { return nil }
+
+// SetEvictObserver installs fn on every shard to observe capacity
+// evictions (nil removes it). fn runs under the evicting shard's lock:
+// it must be fast, must not call back into the cache, and must copy
+// anything it keeps from the entry.
+func (s *Sharded) SetEvictObserver(fn func(e *Entry, now int64)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.SetEvictObserver(fn)
+		sh.mu.Unlock()
+	}
+}
+
+// Dump copies out every cached entry (bodies shared, not copied: cached
+// bodies are immutable once stored). The snapshot is per-shard
+// consistent; a tiered store uses it to flush the RAM working set to
+// disk on shutdown.
+func (s *Sharded) Dump() []Entry {
+	var out []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.c.entries {
+			out = append(out, *e)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // URLs returns the cached URLs (unspecified order). Concurrent mutations

@@ -361,9 +361,9 @@ func TestPolicyFactoryInstances(t *testing.T) {
 
 type custom struct{}
 
-func (custom) Name() string                        { return "custom" }
+func (custom) Name() string                         { return "custom" }
 func (custom) Priority(e *Entry, now int64) float64 { return 0 }
-func (custom) OnEvict(e *Entry)                    {}
+func (custom) OnEvict(e *Entry)                     {}
 
 // TestShardedApplyPiggyback checks the three outcomes of one piggyback
 // element against a cached copy.

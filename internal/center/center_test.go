@@ -76,7 +76,7 @@ func doVia(t *testing.T, c *httpwire.Client, addr, host, path string, f *core.Fi
 	if f != nil {
 		httpwire.SetFilter(req, *f)
 	}
-	resp, err := c.Do(addr, req)
+	resp, err := c.DoContext(context.Background(), addr, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestCenterPassesThroughConditionalRequests(t *testing.T) {
 	req := httpwire.NewRequest("GET", "/a/x.html")
 	req.Header.Set("Host", "www.one.com")
 	req.Header.Set("If-Modified-Since", httpwire.FormatHTTPDate(1000))
-	resp, err := c.Do(addr, req)
+	resp, err := c.DoContext(context.Background(), addr, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestProxyThroughCenterEndToEnd(t *testing.T) {
 	c := httpwire.NewClient()
 	defer c.Close()
 	get := func(url string) *httpwire.Response {
-		resp, err := c.Do(l.Addr().String(), httpwire.NewRequest("GET", "http://"+url))
+		resp, err := c.DoContext(context.Background(), l.Addr().String(), httpwire.NewRequest("GET", "http://"+url))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,7 +244,7 @@ func TestCenterConsumesPiggyHits(t *testing.T) {
 	req := httpwire.NewRequest("GET", "/a/x.html")
 	req.Header.Set("Host", "www.one.com")
 	httpwire.SetHits(req, []string{"/a/y.gif", "/a/x.html"})
-	resp, err := c.Do(addr, req)
+	resp, err := c.DoContext(context.Background(), addr, req)
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("relay: %v %d", err, resp.Status)
 	}

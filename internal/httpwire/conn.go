@@ -31,17 +31,6 @@ func (f HandlerFunc) ServeWire(ctx context.Context, req *Request) *Response {
 	return f(ctx, req)
 }
 
-// LegacyHandlerFunc adapts a pre-context handler function to Handler.
-//
-// Deprecated: implement Handler or use HandlerFunc; the context carries
-// cancellation the wrapped function cannot observe.
-type LegacyHandlerFunc func(*Request) *Response
-
-// ServeWire calls f, dropping the context.
-func (f LegacyHandlerFunc) ServeWire(_ context.Context, req *Request) *Response {
-	return f(req)
-}
-
 // Server serves HTTP/1.1 over a listener with persistent connections:
 // requests on one connection are handled in order, and the connection
 // stays open until the client sends Connection: close, the idle timeout
@@ -427,14 +416,6 @@ func (c *Client) countError(err error) {
 	}
 	c.Obs.Errors.Inc()
 	c.Obs.CountErrClass(wireerr.Class(err))
-}
-
-// Do sends req without a context.
-//
-// Deprecated: use DoContext so cancellation and deadlines propagate; Do is
-// DoContext with context.Background().
-func (c *Client) Do(addr string, req *Request) (*Response, error) {
-	return c.DoContext(context.Background(), addr, req)
 }
 
 // DoContext sends req to the server at addr ("host:port") and returns its

@@ -36,7 +36,7 @@ func TestClientServerBasic(t *testing.T) {
 	addr := startServer(t, HandlerFunc(echoHandler))
 	c := NewClient()
 	defer c.Close()
-	resp, err := c.Do(addr, NewRequest("GET", "/hello"))
+	resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/hello"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestPersistentConnectionReuse(t *testing.T) {
 	c := NewClient()
 	defer c.Close()
 	for i := 0; i < 10; i++ {
-		resp, err := c.Do(l.Addr().String(), NewRequest("GET", fmt.Sprintf("/r%d", i)))
+		resp, err := c.DoContext(context.Background(), l.Addr().String(), NewRequest("GET", fmt.Sprintf("/r%d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +91,7 @@ func TestConnectionCloseHonored(t *testing.T) {
 	defer c.Close()
 	req := NewRequest("GET", "/bye")
 	req.Header.Set("Connection", "close")
-	resp, err := c.Do(addr, req)
+	resp, err := c.DoContext(context.Background(), addr, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestConnectionCloseHonored(t *testing.T) {
 		t.Error("server should echo Connection: close")
 	}
 	// Next request must transparently redial.
-	resp, err = c.Do(addr, NewRequest("GET", "/again"))
+	resp, err = c.DoContext(context.Background(), addr, NewRequest("GET", "/again"))
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("redial failed: %v", err)
 	}
@@ -109,12 +109,12 @@ func TestClientRetriesStaleConnection(t *testing.T) {
 	addr := startServer(t, HandlerFunc(echoHandler))
 	c := NewClient()
 	defer c.Close()
-	if _, err := c.Do(addr, NewRequest("GET", "/a")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/a")); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the pooled idle connection behind the client's back.
 	closeIdleConns(c)
-	resp, err := c.Do(addr, NewRequest("GET", "/b"))
+	resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/b"))
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("retry on stale connection failed: %v", err)
 	}
@@ -131,7 +131,7 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < 20; i++ {
 				path := fmt.Sprintf("/g%d/r%d", g, i)
-				resp, err := c.Do(addr, NewRequest("GET", path))
+				resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", path))
 				if err != nil {
 					t.Errorf("do: %v", err)
 					return
@@ -159,7 +159,7 @@ func TestSharedClientConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				path := fmt.Sprintf("/s%d-%d", g, i)
-				resp, err := c.Do(addr, NewRequest("GET", path))
+				resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", path))
 				if err != nil || string(resp.Body) != "echo:"+path {
 					t.Errorf("shared client: %v %q", err, resp)
 					return
@@ -193,7 +193,7 @@ func TestEndToEndPiggybackExchange(t *testing.T) {
 
 	req := NewRequest("GET", "/a/x.html")
 	SetFilter(req, core.Filter{MaxPiggy: 10})
-	resp, err := c.Do(addr, req)
+	resp, err := c.DoContext(context.Background(), addr, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestEndToEndPiggybackExchange(t *testing.T) {
 	// Second request listing the volume in the RPV filter: no piggyback.
 	req2 := NewRequest("GET", "/a/x.html")
 	SetFilter(req2, core.Filter{MaxPiggy: 10, RPV: []core.VolumeID{m.Volume}})
-	resp2, err := c.Do(addr, req2)
+	resp2, err := c.DoContext(context.Background(), addr, req2)
 	if err != nil {
 		t.Fatal(err)
 	}

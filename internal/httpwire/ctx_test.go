@@ -206,16 +206,18 @@ func TestServerCloseReleasesBlockedHandlers(t *testing.T) {
 	}
 }
 
-func TestLegacyDoWrapperStillWorks(t *testing.T) {
-	addr := startServer(t, LegacyHandlerFunc(func(req *Request) *Response {
+func TestHandlerFuncBackground(t *testing.T) {
+	// A handler that ignores its context composes with a Background()
+	// client call — the minimal post-migration surface.
+	addr := startServer(t, HandlerFunc(func(_ context.Context, req *Request) *Response {
 		resp := NewResponse(200)
-		resp.Body = []byte("legacy")
+		resp.Body = []byte("plain")
 		return resp
 	}))
 	c := NewClient()
 	defer c.Close()
-	resp, err := c.Do(addr, NewRequest("GET", "/legacy"))
-	if err != nil || string(resp.Body) != "legacy" {
-		t.Fatalf("legacy Do: %v %v", resp, err)
+	resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/plain"))
+	if err != nil || string(resp.Body) != "plain" {
+		t.Fatalf("background Do: %v %v", resp, err)
 	}
 }

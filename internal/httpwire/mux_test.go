@@ -45,7 +45,7 @@ func TestMuxBasicMultiplexing(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			path := fmt.Sprintf("/mux%d", i)
-			resp, err := c.Do(l.Addr().String(), NewRequest("GET", path))
+			resp, err := c.DoContext(context.Background(), l.Addr().String(), NewRequest("GET", path))
 			if err != nil {
 				errs[i] = err
 				return
@@ -83,7 +83,7 @@ func TestMuxSequentialOrdering(t *testing.T) {
 	// submission order (FIFO is the HTTP/1.1 correlation).
 	for i := 0; i < 25; i++ {
 		path := fmt.Sprintf("/seq%d", i)
-		resp, err := c.Do(addr, NewRequest("GET", path))
+		resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", path))
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
@@ -125,7 +125,7 @@ func TestMuxFallsBackToPool(t *testing.T) {
 	defer c.Close()
 	// The first (multiplexed) connection dies mid-exchange; DoContext must
 	// transparently retry on the classic pool.
-	resp, err := c.Do(l.Addr().String(), NewRequest("GET", "/fallback"))
+	resp, err := c.DoContext(context.Background(), l.Addr().String(), NewRequest("GET", "/fallback"))
 	if err != nil {
 		t.Fatalf("fallback request failed: %v", err)
 	}
@@ -158,7 +158,7 @@ func TestMuxCanceledCallerDetaches(t *testing.T) {
 
 	// Establish the multiplexed connection first so the short deadline
 	// below races the exchange, never the dial.
-	if _, err := c.Do(addr, NewRequest("GET", "/warm")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/warm")); err != nil {
 		t.Fatalf("warmup: %v", err)
 	}
 
@@ -172,7 +172,7 @@ func TestMuxCanceledCallerDetaches(t *testing.T) {
 
 	// The connection must still be usable: the reader discards the
 	// abandoned response and stays correlated.
-	resp, err := c.Do(addr, NewRequest("GET", "/after"))
+	resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/after"))
 	if err != nil {
 		t.Fatalf("request after cancellation: %v", err)
 	}
@@ -241,7 +241,7 @@ func TestMuxCancellationHammer(t *testing.T) {
 		t.Fatal("hammer saw failures")
 	}
 	// Steady state after the storm: a fresh exchange must still work.
-	resp, err := c.Do(addr, NewRequest("GET", "/steady"))
+	resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/steady"))
 	if err != nil || string(resp.Body) != "echo:/steady" {
 		t.Fatalf("post-hammer exchange: %v %q", err, resp)
 	}

@@ -13,14 +13,6 @@ import (
 // writes the whole batch before reading any response, so the pipe carries
 // at most one round-trip of latency for the entire page.
 
-// DoAll pipelines the requests without a context.
-//
-// Deprecated: use DoAllContext so cancellation and deadlines propagate;
-// DoAll is DoAllContext with context.Background().
-func (c *Client) DoAll(addr string, reqs []*Request) ([]*Response, error) {
-	return c.DoAllContext(context.Background(), addr, reqs)
-}
-
 // DoAllContext pipelines the requests to addr over one pooled persistent
 // connection and returns the responses in order. On any error the
 // connection is dropped and the error returned; responses received before

@@ -21,7 +21,7 @@ func TestPipelineBasic(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		reqs = append(reqs, NewRequest("GET", fmt.Sprintf("/p%d", i)))
 	}
-	resps, err := c.DoAll(addr, reqs)
+	resps, err := c.DoAllContext(context.Background(), addr, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestPipelineBasic(t *testing.T) {
 func TestPipelineEmpty(t *testing.T) {
 	c := NewClient()
 	defer c.Close()
-	resps, err := c.DoAll("127.0.0.1:1", nil)
+	resps, err := c.DoAllContext(context.Background(), "127.0.0.1:1", nil)
 	if err != nil || resps != nil {
 		t.Fatalf("empty pipeline: %v, %v", resps, err)
 	}
@@ -54,7 +54,7 @@ func TestPipelineWithHEAD(t *testing.T) {
 		NewRequest("HEAD", "/b"),
 		NewRequest("GET", "/c"),
 	}
-	resps, err := c.DoAll(addr, reqs)
+	resps, err := c.DoAllContext(context.Background(), addr, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestPipelineWithTrailers(t *testing.T) {
 		SetFilter(req, core.Filter{MaxPiggy: 5})
 		reqs = append(reqs, req)
 	}
-	resps, err := c.DoAll(addr, reqs)
+	resps, err := c.DoAllContext(context.Background(), addr, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,15 +107,15 @@ func TestPipelineReusesConnectionAfterDo(t *testing.T) {
 	addr := startServer(t, HandlerFunc(echoHandler))
 	c := NewClient()
 	defer c.Close()
-	if _, err := c.Do(addr, NewRequest("GET", "/warm")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/warm")); err != nil {
 		t.Fatal(err)
 	}
-	resps, err := c.DoAll(addr, []*Request{NewRequest("GET", "/a"), NewRequest("GET", "/b")})
+	resps, err := c.DoAllContext(context.Background(), addr, []*Request{NewRequest("GET", "/a"), NewRequest("GET", "/b")})
 	if err != nil || len(resps) != 2 {
 		t.Fatalf("pipelined on reused conn: %v", err)
 	}
 	// And Do still works afterwards.
-	if _, err := c.Do(addr, NewRequest("GET", "/after")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/after")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -124,11 +124,11 @@ func TestPipelineRetriesStaleConnection(t *testing.T) {
 	addr := startServer(t, HandlerFunc(echoHandler))
 	c := NewClient()
 	defer c.Close()
-	if _, err := c.Do(addr, NewRequest("GET", "/warm")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/warm")); err != nil {
 		t.Fatal(err)
 	}
 	closeIdleConns(c)
-	resps, err := c.DoAll(addr, []*Request{NewRequest("GET", "/x"), NewRequest("GET", "/y")})
+	resps, err := c.DoAllContext(context.Background(), addr, []*Request{NewRequest("GET", "/x"), NewRequest("GET", "/y")})
 	if err != nil || len(resps) != 2 {
 		t.Fatalf("pipeline retry failed: %v (%d responses)", err, len(resps))
 	}
@@ -163,7 +163,7 @@ func TestPipelinePerExchangeDeadlines(t *testing.T) {
 		NewRequest("GET", "/d1"),
 		NewRequest("GET", "/d2"),
 	}
-	resps, err := c.DoAll(addr, reqs)
+	resps, err := c.DoAllContext(context.Background(), addr, reqs)
 	if err != nil {
 		t.Fatalf("pipeline with per-exchange budgets: %v (%d responses)", err, len(resps))
 	}

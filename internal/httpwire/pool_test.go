@@ -44,11 +44,11 @@ func TestPoolRetryCountsAndRecovers(t *testing.T) {
 	c := NewClient()
 	c.Obs = testWireMetrics()
 	defer c.Close()
-	if _, err := c.Do(addr, NewRequest("GET", "/a")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/a")); err != nil {
 		t.Fatal(err)
 	}
 	closeIdleConns(c)
-	resp, err := c.Do(addr, NewRequest("GET", "/b"))
+	resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/b"))
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("retry on stale connection failed: %v", err)
 	}
@@ -70,7 +70,7 @@ func TestPoolDropsConnectionOnClose(t *testing.T) {
 	defer c.Close()
 	req := NewRequest("GET", "/bye")
 	req.Header.Set("Connection", "close")
-	if _, err := c.Do(addr, req); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, req); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Obs.ConnsOpen.Load(); got != 0 {
@@ -80,7 +80,7 @@ func TestPoolDropsConnectionOnClose(t *testing.T) {
 		t.Errorf("conns_idle = %d after Connection: close, want 0", got)
 	}
 	// The next request must transparently redial.
-	if resp, err := c.Do(addr, NewRequest("GET", "/again")); err != nil || resp.Status != 200 {
+	if resp, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/again")); err != nil || resp.Status != 200 {
 		t.Fatalf("redial failed: %v", err)
 	}
 	if got := c.Obs.Dials.Load(); got != 2 {
@@ -113,7 +113,7 @@ func TestPoolBoundsConnsPerHost(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := c.Do(l.Addr().String(), NewRequest("GET", "/slow"))
+			_, err := c.DoContext(context.Background(), l.Addr().String(), NewRequest("GET", "/slow"))
 			errs <- err
 		}()
 	}
@@ -158,7 +158,7 @@ func TestPoolSpreadsConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.Do(addr, NewRequest("GET", "/r")); err != nil {
+			if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/r")); err != nil {
 				t.Errorf("do: %v", err)
 			}
 		}()
@@ -183,12 +183,12 @@ func TestPoolReapsIdleConns(t *testing.T) {
 	c.IdleConnTimeout = 20 * time.Millisecond
 	c.Obs = testWireMetrics()
 	defer c.Close()
-	if _, err := c.Do(addr, NewRequest("GET", "/a")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/a")); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(80 * time.Millisecond)
 	// The next acquisition reaps the expired idle conn and dials afresh.
-	if _, err := c.Do(addr, NewRequest("GET", "/b")); err != nil {
+	if _, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/b")); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Obs.IdleClosed.Load(); got != 1 {
@@ -214,14 +214,14 @@ func TestPoolCloseUnblocksWaiters(t *testing.T) {
 	c.MaxConnsPerHost = 1
 	c.Obs = testWireMetrics()
 
-	go c.Do(addr, NewRequest("GET", "/hog"))
+	go c.DoContext(context.Background(), addr, NewRequest("GET", "/hog"))
 	deadline := time.Now().Add(2 * time.Second)
 	for c.Obs.ConnsOpen.Load() < 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	waiterErr := make(chan error, 1)
 	go func() {
-		_, err := c.Do(addr, NewRequest("GET", "/waiting"))
+		_, err := c.DoContext(context.Background(), addr, NewRequest("GET", "/waiting"))
 		waiterErr <- err
 	}()
 	for c.Obs.PoolWaits.Load() < 1 && time.Now().Before(deadline) {

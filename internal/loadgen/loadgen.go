@@ -186,14 +186,6 @@ type run struct {
 	hist      *obs.Histogram
 }
 
-// Run executes the configured workload without a context.
-//
-// Deprecated: use RunContext so a run can be cancelled mid-flight; Run is
-// RunContext with context.Background().
-func Run(cfg Config) (*Report, error) {
-	return RunContext(context.Background(), cfg)
-}
-
 // RunContext executes the configured workload and returns its report.
 // Cancelling ctx stops issuing new requests and interrupts in-flight
 // exchanges (counted as errors).
@@ -421,7 +413,7 @@ func (r *run) report(end time.Time) *Report {
 func FetchStats(addr string) (obs.Snapshot, error) {
 	client := httpwire.NewClient()
 	defer client.Close()
-	resp, err := client.Do(addr, httpwire.NewRequest("GET", obs.StatsPath))
+	resp, err := client.DoContext(context.Background(), addr, httpwire.NewRequest("GET", obs.StatsPath))
 	if err != nil {
 		return obs.Snapshot{}, err
 	}

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -92,13 +93,13 @@ func TestTargets(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Run(Config{}); err == nil {
+	if _, err := RunContext(context.Background(), Config{}); err == nil {
 		t.Error("empty config should fail")
 	}
-	if _, err := Run(Config{Addr: "x", Records: workload(4, 2), Mode: Open}); err == nil {
+	if _, err := RunContext(context.Background(), Config{Addr: "x", Records: workload(4, 2), Mode: Open}); err == nil {
 		t.Error("open loop without rate should fail")
 	}
-	if _, err := Run(Config{Addr: "x", Records: workload(4, 2), Warmup: 10}); err == nil {
+	if _, err := RunContext(context.Background(), Config{Addr: "x", Records: workload(4, 2), Warmup: 10}); err == nil {
 		t.Error("warmup >= total should fail")
 	}
 }
@@ -110,7 +111,7 @@ func TestConfigValidation(t *testing.T) {
 func TestClosedLoopE2E(t *testing.T) {
 	const nRes, total, warm = 20, 300, 40
 	ts := newTestStack(t, nRes)
-	rep, err := Run(Config{
+	rep, err := RunContext(context.Background(), Config{
 		Addr:      ts.ProxyAddr,
 		Records:   workload(total, nRes),
 		Mode:      Closed,
@@ -171,7 +172,7 @@ func TestClosedLoopE2E(t *testing.T) {
 // TestOpenLoop paces arrivals against a trivial origin-only stack.
 func TestOpenLoop(t *testing.T) {
 	ts := newTestStack(t, 5)
-	rep, err := Run(Config{
+	rep, err := RunContext(context.Background(), Config{
 		Addr:     ts.ProxyAddr,
 		Records:  workload(100, 5),
 		Mode:     Open,
@@ -198,7 +199,7 @@ func TestOpenLoop(t *testing.T) {
 // TestWarmupExclusion pins the warmup boundary arithmetic.
 func TestWarmupExclusion(t *testing.T) {
 	ts := newTestStack(t, 3)
-	rep, err := Run(Config{
+	rep, err := RunContext(context.Background(), Config{
 		Addr: ts.ProxyAddr, Records: workload(30, 3),
 		Workers: 1, Requests: 30, Warmup: 10, Seed: 1,
 	})

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -85,7 +86,7 @@ func newFleet(t *testing.T, n int, cfg Config) *fleet {
 // get issues a client request through proxy i (absolute-URI form).
 func (f *fleet) get(t *testing.T, i int, url string) *httpwire.Response {
 	t.Helper()
-	resp, err := f.client.Do(f.addrs[i], httpwire.NewRequest("GET", "http://"+url))
+	resp, err := f.client.DoContext(context.Background(), f.addrs[i], httpwire.NewRequest("GET", "http://"+url))
 	if err != nil {
 		t.Fatalf("request for %s via proxy %d: %v", url, i, err)
 	}
@@ -151,7 +152,7 @@ func TestMeshPeerMarkedRequestNotReforwarded(t *testing.T) {
 	// never bounced onward.
 	req := httpwire.NewRequest("GET", "http://"+key)
 	httpwire.SetPeerFrom(req, f.addrs[o])
-	resp, err := f.client.Do(f.addrs[r], req)
+	resp, err := f.client.DoContext(context.Background(), f.addrs[r], req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestMeshPropagatesPiggybackToRecentRequester(t *testing.T) {
 	wreq := httpwire.NewRequest("GET", "/a/y.gif")
 	wreq.Header.Set("Host", "www.site.com")
 	httpwire.SetFilter(wreq, core.Filter{})
-	if _, err := f.client.Do(f.originAddr, wreq); err != nil {
+	if _, err := f.client.DoContext(context.Background(), f.originAddr, wreq); err != nil {
 		t.Fatal(err)
 	}
 
@@ -269,7 +270,7 @@ func TestMeshConcurrentFleetHammer(t *testing.T) {
 			defer cl.Close()
 			for i := 0; i < 40; i++ {
 				u := urls[(g*7+i)%len(urls)]
-				resp, err := cl.Do(f.addrs[(g+i)%len(f.addrs)], httpwire.NewRequest("GET", "http://"+u))
+				resp, err := cl.DoContext(context.Background(), f.addrs[(g+i)%len(f.addrs)], httpwire.NewRequest("GET", "http://"+u))
 				if err != nil {
 					errs <- fmt.Sprintf("goroutine %d: %v", g, err)
 					return

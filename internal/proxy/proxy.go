@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +26,13 @@ import (
 
 // Config parameterizes a Proxy.
 type Config struct {
+	// Store is the cache the proxy serves from. Nil means a fresh
+	// cache.Sharded built from CacheBytes/CacheShards/Policy below; set
+	// it explicitly to serve from a tiered (RAM+disk) store or any other
+	// cache.Store implementation. When Store is set, CacheBytes,
+	// CacheShards, and Policy are ignored. The proxy owns the store and
+	// closes it in Close.
+	Store cache.Store
 	// CacheBytes is the cache capacity; zero means 64 MiB.
 	CacheBytes int64
 	// Policy is the replacement policy; nil means PiggybackLRU. Each
@@ -187,10 +195,11 @@ type Proxy struct {
 	obs    *obs.Registry
 	c      proxyCounters
 
-	// cache is the sharded concurrent store: every operation locks only
-	// the shard owning its key, so there is no proxy-global cache lock
-	// and fresh hits on different shards proceed in parallel.
-	cache *cache.Sharded
+	// cache is the store the proxy serves from — a cache.Sharded by
+	// default (every operation locks only the shard owning its key, so
+	// fresh hits on different shards proceed in parallel), or whatever
+	// Config.Store supplied (e.g. a tiered RAM+disk store).
+	cache cache.Store
 	// hits stripes the per-host pending hit reports (§5) the same way.
 	hits *hostHits
 
@@ -268,12 +277,16 @@ func New(cfg Config) *Proxy {
 	if cfg.MaxStaleOnError == 0 {
 		cfg.MaxStaleOnError = 3600
 	}
+	store := cfg.Store
+	if store == nil {
+		store = cache.NewSharded(cfg.CacheBytes, cfg.CacheShards, cache.PolicyFactory(cfg.Policy))
+	}
 	reg := obs.NewRegistry()
 	p := &Proxy{
 		cfg:     cfg,
 		client:  httpwire.NewClient(),
 		rpv:     core.NewRPVTable(cfg.RPVTimeout, cfg.RPVMaxLen),
-		cache:   cache.NewSharded(cfg.CacheBytes, cfg.CacheShards, cache.PolicyFactory(cfg.Policy)),
+		cache:   store,
 		queue:   NewInformedQueue(),
 		hits:    newHostHits(),
 		flights: make(map[string]*flight),
@@ -385,8 +398,11 @@ func (p *Proxy) BreakerOpenHosts() int { return p.breaker.OpenHosts() }
 // obs.StatsPath).
 func (p *Proxy) Obs() *obs.Registry { return p.obs }
 
-// CacheHitRate returns the cache's hit rate.
-func (p *Proxy) CacheHitRate() float64 { return p.cache.HitRate() }
+// CacheHitRate returns the cache's hit rate across all tiers.
+func (p *Proxy) CacheHitRate() float64 { return p.cache.Stats().HitRate() }
+
+// CacheStats returns the store's aggregate counters (all tiers).
+func (p *Proxy) CacheStats() cache.StoreStats { return p.cache.Stats() }
 
 // Queue exposes the informed fetch queue (for draining in tests and the
 // prefetch loop).
@@ -395,13 +411,18 @@ func (p *Proxy) Queue() *InformedQueue { return p.queue }
 // Freshness exposes the adaptive freshness estimator (nil when disabled).
 func (p *Proxy) Freshness() *FreshnessEstimator { return p.fresh }
 
-// Close stops the mesh's propagation worker (when one is running) and
-// releases upstream and peer connections.
+// Close stops the mesh's propagation worker (when one is running),
+// releases upstream and peer connections, and closes the cache store —
+// a tiered store flushes its RAM working set to disk and snapshots its
+// index here, which is what makes a restart warm.
 func (p *Proxy) Close() {
 	if p.mesh != nil {
 		p.mesh.close()
 	}
 	p.client.Close()
+	if err := p.cache.Close(); err != nil {
+		log.Printf("proxy: cache close: %v", err)
+	}
 }
 
 // splitTarget extracts (host, path) from a proxy request: absolute-URI
@@ -845,14 +866,6 @@ func (p *Proxy) processPiggyback(host string, m core.Message, now int64) {
 			}
 		}
 	}
-}
-
-// DrainPrefetches services queued prefetches without a context.
-//
-// Deprecated: use DrainPrefetchesContext so a shutdown can interrupt the
-// drain; this is DrainPrefetchesContext with context.Background().
-func (p *Proxy) DrainPrefetches(max int) int {
-	return p.DrainPrefetchesContext(context.Background(), max)
 }
 
 // DrainPrefetchesContext synchronously services up to max queued

@@ -65,7 +65,7 @@ func newTestbed(t *testing.T, cfg Config) *testbed {
 // get issues a client request through the proxy (absolute-URI form).
 func (tb *testbed) get(t *testing.T, url string) *httpwire.Response {
 	t.Helper()
-	resp, err := tb.client.Do(tb.prxAddr, httpwire.NewRequest("GET", "http://"+url))
+	resp, err := tb.client.DoContext(context.Background(), tb.prxAddr, httpwire.NewRequest("GET", "http://"+url))
 	if err != nil {
 		t.Fatalf("client request for %s: %v", url, err)
 	}
@@ -201,7 +201,7 @@ func TestProxyPrefetchQueueAndDrain(t *testing.T) {
 	defer seed.Close()
 	addr, _ := tb.proxy.cfg.Resolve("www.site.com")
 	for _, p := range []string{"/a/y.gif", "/a/big.pdf"} {
-		if _, err := seed.Do(addr, httpwire.NewRequest("GET", p)); err != nil {
+		if _, err := seed.DoContext(context.Background(), addr, httpwire.NewRequest("GET", p)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -209,7 +209,7 @@ func TestProxyPrefetchQueueAndDrain(t *testing.T) {
 	if tb.proxy.Queue().Len() != 2 {
 		t.Fatalf("queue = %d, want 2", tb.proxy.Queue().Len())
 	}
-	n := tb.proxy.DrainPrefetches(10)
+	n := tb.proxy.DrainPrefetchesContext(context.Background(), 10)
 	if n != 2 {
 		t.Fatalf("prefetched %d, want 2", n)
 	}
@@ -248,7 +248,7 @@ func TestProxyAdaptiveFreshness(t *testing.T) {
 func TestProxyRejectsNonGET(t *testing.T) {
 	tb := newTestbed(t, Config{})
 	req := httpwire.NewRequest("POST", "http://www.site.com/a/x.html")
-	resp, err := tb.client.Do(tb.prxAddr, req)
+	resp, err := tb.client.DoContext(context.Background(), tb.prxAddr, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,13 +261,13 @@ func TestProxyHostHeaderForm(t *testing.T) {
 	tb := newTestbed(t, Config{})
 	req := httpwire.NewRequest("GET", "/a/x.html")
 	req.Header.Set("Host", "www.site.com")
-	resp, err := tb.client.Do(tb.prxAddr, req)
+	resp, err := tb.client.DoContext(context.Background(), tb.prxAddr, req)
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("host-form request: %v %d", err, resp.Status)
 	}
 	// Missing host entirely: 400.
 	req2 := httpwire.NewRequest("GET", "/a/x.html")
-	resp2, err := tb.client.Do(tb.prxAddr, req2)
+	resp2, err := tb.client.DoContext(context.Background(), tb.prxAddr, req2)
 	if err != nil || resp2.Status != 400 {
 		t.Fatalf("hostless request: %v %d", err, resp2.Status)
 	}
@@ -316,7 +316,7 @@ func TestProxyServesPipelinedClients(t *testing.T) {
 		httpwire.NewRequest("GET", "http://www.site.com/a/y.gif"),
 		httpwire.NewRequest("GET", "http://www.site.com/a/big.pdf"),
 	}
-	resps, err := tb.client.DoAll(tb.prxAddr, reqs)
+	resps, err := tb.client.DoAllContext(context.Background(), tb.prxAddr, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,7 +43,7 @@ func TestDrainPrefetchJoinsClientMissFlight(t *testing.T) {
 
 	// The drain becomes the flight leader and parks inside the origin.
 	drained := make(chan int, 1)
-	go func() { drained <- p.DrainPrefetches(1) }()
+	go func() { drained <- p.DrainPrefetchesContext(context.Background(), 1) }()
 	<-leaderIn
 
 	// A client miss for the same key arrives while the drain's fetch is
@@ -114,7 +114,7 @@ func TestDrainSkipsKeyAlreadyInFlight(t *testing.T) {
 
 	p.queue.Push(FetchItem{Host: "www.pf2.test", URL: "/cold.html", Size: 11})
 	drained := make(chan int, 1)
-	go func() { drained <- p.DrainPrefetches(1) }()
+	go func() { drained <- p.DrainPrefetchesContext(context.Background(), 1) }()
 	time.Sleep(20 * time.Millisecond) // let the drain reach the flight
 	close(release)
 
@@ -241,7 +241,7 @@ func TestProxyMixedConcurrentHammer(t *testing.T) {
 		// invalidation (newer), one likely-uncached prefetch seed.
 		httpwire.AttachPiggyback(resp, core.Message{Volume: 1, Elements: []core.Element{
 			{URL: fmt.Sprintf("/r%02d.html", n%keys), LastModified: 500, Size: 40},
-			{URL: fmt.Sprintf("/r%02d.html", (n + 7) % keys), LastModified: 2000, Size: 40},
+			{URL: fmt.Sprintf("/r%02d.html", (n+7)%keys), LastModified: 2000, Size: 40},
 			{URL: fmt.Sprintf("/x%02d.html", n%11), LastModified: 900, Size: 20},
 		}})
 		return resp
@@ -287,7 +287,7 @@ func TestProxyMixedConcurrentHammer(t *testing.T) {
 				case <-done:
 					return
 				default:
-					p.DrainPrefetches(4)
+					p.DrainPrefetchesContext(context.Background(), 4)
 					runtime.Gosched()
 				}
 			}

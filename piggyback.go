@@ -32,6 +32,7 @@ import (
 	"net"
 
 	"piggyback/internal/cache"
+	"piggyback/internal/cache/tiered"
 	"piggyback/internal/center"
 	"piggyback/internal/core"
 	"piggyback/internal/faultconn"
@@ -127,11 +128,6 @@ type (
 	WireHandler = httpwire.Handler
 	// WireHandlerFunc adapts a context-taking function to WireHandler.
 	WireHandlerFunc = httpwire.HandlerFunc
-	// LegacyWireHandlerFunc adapts a pre-context function to WireHandler.
-	//
-	// Deprecated: use WireHandlerFunc; the wrapped function cannot
-	// observe cancellation.
-	LegacyWireHandlerFunc = httpwire.LegacyHandlerFunc
 )
 
 // Wire-layer failure taxonomy (errors.Is-able; see internal/httpwire/wireerr).
@@ -286,6 +282,20 @@ type (
 	GDSize       = cache.GDSize
 	PiggybackLRU = cache.PiggybackLRU
 	ServerGD     = cache.ServerGD
+	// CacheStore is the cache surface the proxy serves from; Cache,
+	// ShardedCache, and TieredCache all satisfy it, so ProxyConfig.Store
+	// accepts any of them.
+	CacheStore = cache.Store
+	// CacheStoreStats is a Store's aggregate counters, including the
+	// disk-tier fields (zero for RAM-only stores).
+	CacheStoreStats = cache.StoreStats
+	// TieredCache layers an append-only segment-file disk tier under a
+	// ShardedCache: RAM evictions worth keeping demote to disk, disk
+	// hits promote back to RAM, and Close snapshots the index so a
+	// restarted proxy serves warm from the same directory.
+	TieredCache = tiered.Tiered
+	// TieredCacheConfig parameterizes a TieredCache.
+	TieredCacheConfig = tiered.Config
 )
 
 // NewCache returns a cache with the given capacity and policy.
@@ -306,6 +316,14 @@ func DefaultCacheShards() int { return cache.DefaultShards() }
 // prototype instance (stateless built-ins shared, stateful ones cloned per
 // shard, unknown implementations serialized behind one lock).
 func CachePolicyFactory(p CachePolicy) func() CachePolicy { return cache.PolicyFactory(p) }
+
+// NewTieredCache layers a disk tier under ram per cfg. An empty cfg.Dir
+// yields a RAM-only store (a transparent wrapper). Close the returned
+// store (directly or via the owning proxy's Close) to flush the RAM
+// working set and snapshot the index for a warm restart.
+func NewTieredCache(ram *ShardedCache, cfg TieredCacheConfig) (*TieredCache, error) {
+	return tiered.New(ram, cfg)
+}
 
 // Transparent volume center (§1, §5).
 type (
@@ -458,11 +476,6 @@ func NewWireMetrics(r *ObsRegistry, prefix string) *WireMetrics {
 
 // StatsPath is the origin-form URL path serving a live ObsSnapshot.
 const StatsPath = obs.StatsPath
-
-// RunLoad drives a workload against a live stack without a context.
-//
-// Deprecated: use RunLoadContext so a run can be cancelled mid-flight.
-func RunLoad(cfg LoadConfig) (*LoadReport, error) { return loadgen.Run(cfg) }
 
 // RunLoadContext drives a workload against a live stack; cancelling ctx
 // stops the run. See internal/loadgen.

@@ -1,6 +1,7 @@
 package piggyback_test
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		now = log[i].Time
 		req := piggyback.NewWireRequest("GET", "http://www.api.test"+log[i].URL)
-		resp, err := client.Do(pl.Addr().String(), req)
+		resp, err := client.DoContext(context.Background(), pl.Addr().String(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
